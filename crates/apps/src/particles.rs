@@ -1,0 +1,411 @@
+//! The **particle** data-centric abstraction (paper III-B: "Tensors and
+//! particles are two examples of EVEREST data-centric programming
+//! abstractions"; the variants example is "layouts of particles as
+//! array-of-structures or structure-of-arrays").
+//!
+//! This module provides both layouts behind one trait, a cell-list
+//! neighbour search, a softened short-range force kernel and a leapfrog
+//! integrator — enough to *measure* the layout effect the variants cost
+//! model predicts (see `benches/particles.rs`).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A 3-vector.
+pub type Vec3 = [f64; 3];
+
+fn add(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+}
+
+fn scale(a: Vec3, s: f64) -> Vec3 {
+    [a[0] * s, a[1] * s, a[2] * s]
+}
+
+fn sub(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn norm2(a: Vec3) -> f64 {
+    a[0] * a[0] + a[1] * a[1] + a[2] * a[2]
+}
+
+/// Storage-layout-independent particle access.
+pub trait ParticleStorage {
+    /// Number of particles.
+    fn len(&self) -> usize;
+    /// `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Position of particle `i`.
+    fn position(&self, i: usize) -> Vec3;
+    /// Velocity of particle `i`.
+    fn velocity(&self, i: usize) -> Vec3;
+    /// Mass of particle `i`.
+    fn mass(&self, i: usize) -> f64;
+    /// Overwrites position `i`.
+    fn set_position(&mut self, i: usize, p: Vec3);
+    /// Overwrites velocity `i`.
+    fn set_velocity(&mut self, i: usize, v: Vec3);
+}
+
+/// Array-of-structures layout: one record per particle (locality per
+/// particle; good for random access patterns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AosParticles {
+    records: Vec<Particle>,
+}
+
+/// One AoS record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Position.
+    pub position: Vec3,
+    /// Velocity.
+    pub velocity: Vec3,
+    /// Mass.
+    pub mass: f64,
+}
+
+/// Structure-of-arrays layout: one array per component (streams well;
+/// good for vectorized sweeps — the layout the SoA variant selects).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoaParticles {
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
+    mass: Vec<f64>,
+}
+
+impl ParticleStorage for AosParticles {
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn position(&self, i: usize) -> Vec3 {
+        self.records[i].position
+    }
+
+    fn velocity(&self, i: usize) -> Vec3 {
+        self.records[i].velocity
+    }
+
+    fn mass(&self, i: usize) -> f64 {
+        self.records[i].mass
+    }
+
+    fn set_position(&mut self, i: usize, p: Vec3) {
+        self.records[i].position = p;
+    }
+
+    fn set_velocity(&mut self, i: usize, v: Vec3) {
+        self.records[i].velocity = v;
+    }
+}
+
+impl ParticleStorage for SoaParticles {
+    fn len(&self) -> usize {
+        self.px.len()
+    }
+
+    fn position(&self, i: usize) -> Vec3 {
+        [self.px[i], self.py[i], self.pz[i]]
+    }
+
+    fn velocity(&self, i: usize) -> Vec3 {
+        [self.vx[i], self.vy[i], self.vz[i]]
+    }
+
+    fn mass(&self, i: usize) -> f64 {
+        self.mass[i]
+    }
+
+    fn set_position(&mut self, i: usize, p: Vec3) {
+        self.px[i] = p[0];
+        self.py[i] = p[1];
+        self.pz[i] = p[2];
+    }
+
+    fn set_velocity(&mut self, i: usize, v: Vec3) {
+        self.vx[i] = v[0];
+        self.vy[i] = v[1];
+        self.vz[i] = v[2];
+    }
+}
+
+/// Seeds `n` particles uniformly in a `box_len`³ box with small random
+/// velocities, identically for both layouts.
+pub fn seed_particles(seed: u64, n: usize, box_len: f64) -> (AosParticles, SoaParticles) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut aos = AosParticles::default();
+    let mut soa = SoaParticles::default();
+    for _ in 0..n {
+        let p = [
+            rng.gen_range(0.0..box_len),
+            rng.gen_range(0.0..box_len),
+            rng.gen_range(0.0..box_len),
+        ];
+        let v = [
+            rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+        ];
+        let mass = rng.gen_range(0.5..2.0);
+        aos.records.push(Particle { position: p, velocity: v, mass });
+        soa.px.push(p[0]);
+        soa.py.push(p[1]);
+        soa.pz.push(p[2]);
+        soa.vx.push(v[0]);
+        soa.vy.push(v[1]);
+        soa.vz.push(v[2]);
+        soa.mass.push(mass);
+    }
+    (aos, soa)
+}
+
+/// A uniform-grid cell list for `cutoff`-range neighbour queries.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    cells: Vec<Vec<usize>>,
+    per_edge: usize,
+    cell_len: f64,
+}
+
+impl CellList {
+    /// Builds a cell list over `storage` in a `box_len`³ box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` or `box_len` is not positive.
+    pub fn build(storage: &dyn ParticleStorage, box_len: f64, cutoff: f64) -> CellList {
+        assert!(cutoff > 0.0 && box_len > 0.0, "positive dimensions required");
+        let per_edge = ((box_len / cutoff).floor() as usize).max(1);
+        let cell_len = box_len / per_edge as f64;
+        let mut cells = vec![Vec::new(); per_edge * per_edge * per_edge];
+        for i in 0..storage.len() {
+            let p = storage.position(i);
+            let idx = Self::cell_index_for(p, per_edge, cell_len);
+            cells[idx].push(i);
+        }
+        CellList { cells, per_edge, cell_len }
+    }
+
+    fn cell_index_for(p: Vec3, per_edge: usize, cell_len: f64) -> usize {
+        let clamp = |x: f64| ((x / cell_len) as usize).min(per_edge - 1);
+        (clamp(p[2]) * per_edge + clamp(p[1])) * per_edge + clamp(p[0])
+    }
+
+    /// All particles within `cutoff` of particle `i` (excluding `i`).
+    pub fn neighbours(
+        &self,
+        storage: &dyn ParticleStorage,
+        i: usize,
+        cutoff: f64,
+    ) -> Vec<usize> {
+        let p = storage.position(i);
+        let c = |x: f64| ((x / self.cell_len) as isize).clamp(0, self.per_edge as isize - 1);
+        let (cx, cy, cz) = (c(p[0]), c(p[1]), c(p[2]));
+        let mut out = Vec::new();
+        let r2 = cutoff * cutoff;
+        for dz in -1..=1isize {
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let (nx, ny, nz) = (cx + dx, cy + dy, cz + dz);
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx >= self.per_edge as isize
+                        || ny >= self.per_edge as isize
+                        || nz >= self.per_edge as isize
+                    {
+                        continue;
+                    }
+                    let cell =
+                        &self.cells[((nz as usize * self.per_edge) + ny as usize) * self.per_edge
+                            + nx as usize];
+                    for &j in cell {
+                        if j != i && norm2(sub(storage.position(j), p)) <= r2 {
+                            out.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Computes softened short-range pair forces (repulsive inverse-square
+/// with softening ε) using the cell list; returns one force vector per
+/// particle. Newton's third law is applied pairwise, so total momentum
+/// change is zero.
+pub fn compute_forces(
+    storage: &dyn ParticleStorage,
+    cells: &CellList,
+    cutoff: f64,
+    strength: f64,
+) -> Vec<Vec3> {
+    let n = storage.len();
+    let mut forces = vec![[0.0; 3]; n];
+    let eps2 = 1e-4;
+    for i in 0..n {
+        for j in cells.neighbours(storage, i, cutoff) {
+            if j <= i {
+                continue; // each pair once
+            }
+            let d = sub(storage.position(i), storage.position(j));
+            let r2 = norm2(d) + eps2;
+            let f = strength * storage.mass(i) * storage.mass(j) / (r2 * r2.sqrt());
+            let fv = scale(d, f);
+            forces[i] = add(forces[i], fv);
+            forces[j] = sub(forces[j], fv);
+        }
+    }
+    forces
+}
+
+/// One leapfrog step: v += f/m · dt, x += v · dt. Positions are clamped to
+/// the box (reflecting walls).
+pub fn step(storage: &mut dyn ParticleStorage, forces: &[Vec3], dt: f64, box_len: f64) {
+    for i in 0..storage.len() {
+        let m = storage.mass(i);
+        let mut v = add(storage.velocity(i), scale(forces[i], dt / m));
+        let mut p = add(storage.position(i), scale(v, dt));
+        for d in 0..3 {
+            if p[d] < 0.0 {
+                p[d] = -p[d];
+                v[d] = -v[d];
+            }
+            if p[d] > box_len {
+                p[d] = 2.0 * box_len - p[d];
+                v[d] = -v[d];
+            }
+            p[d] = p[d].clamp(0.0, box_len);
+        }
+        storage.set_velocity(i, v);
+        storage.set_position(i, p);
+    }
+}
+
+/// Total momentum (Σ m·v) — conserved by pair forces away from walls.
+pub fn total_momentum(storage: &dyn ParticleStorage) -> Vec3 {
+    let mut p = [0.0; 3];
+    for i in 0..storage.len() {
+        p = add(p, scale(storage.velocity(i), storage.mass(i)));
+    }
+    p
+}
+
+/// Total kinetic energy (½ Σ m·v²) — the streaming sweep the SoA layout
+/// accelerates.
+pub fn kinetic_energy(storage: &dyn ParticleStorage) -> f64 {
+    (0..storage.len())
+        .map(|i| 0.5 * storage.mass(i) * norm2(storage.velocity(i)))
+        .sum()
+}
+
+/// Runs `steps` simulation steps and returns the final kinetic energy.
+pub fn simulate(
+    storage: &mut dyn ParticleStorage,
+    box_len: f64,
+    cutoff: f64,
+    dt: f64,
+    steps: usize,
+) -> f64 {
+    for _ in 0..steps {
+        let cells = CellList::build(storage, box_len, cutoff);
+        let forces = compute_forces(storage, &cells, cutoff, 0.01);
+        step(storage, &forces, dt, box_len);
+    }
+    kinetic_energy(storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_agree_exactly() {
+        let (mut aos, mut soa) = seed_particles(1, 200, 10.0);
+        let ea = simulate(&mut aos, 10.0, 1.5, 0.01, 5);
+        let es = simulate(&mut soa, 10.0, 1.5, 0.01, 5);
+        assert_eq!(ea, es, "AoS and SoA must be bit-identical");
+        for i in 0..aos.len() {
+            assert_eq!(aos.position(i), soa.position(i));
+        }
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force() {
+        let (aos, _) = seed_particles(2, 150, 8.0);
+        let cutoff = 2.0;
+        let cells = CellList::build(&aos, 8.0, cutoff);
+        for i in (0..aos.len()).step_by(17) {
+            let fast = cells.neighbours(&aos, i, cutoff);
+            let mut brute: Vec<usize> = (0..aos.len())
+                .filter(|j| {
+                    *j != i && norm2(sub(aos.position(*j), aos.position(i))) <= cutoff * cutoff
+                })
+                .collect();
+            brute.sort_unstable();
+            assert_eq!(fast, brute, "particle {i}");
+        }
+    }
+
+    #[test]
+    fn momentum_conserved_by_pair_forces() {
+        let (mut aos, _) = seed_particles(3, 100, 50.0); // big box: no wall hits
+        let before = total_momentum(&aos);
+        let cells = CellList::build(&aos, 50.0, 3.0);
+        let forces = compute_forces(&aos, &cells, 3.0, 0.05);
+        step(&mut aos, &forces, 0.01, 50.0);
+        let after = total_momentum(&aos);
+        for d in 0..3 {
+            assert!((before[d] - after[d]).abs() < 1e-9, "axis {d}");
+        }
+    }
+
+    #[test]
+    fn forces_are_repulsive() {
+        let mut aos = AosParticles::default();
+        aos.records.push(Particle { position: [1.0, 0.0, 0.0], velocity: [0.0; 3], mass: 1.0 });
+        aos.records.push(Particle { position: [1.4, 0.0, 0.0], velocity: [0.0; 3], mass: 1.0 });
+        let cells = CellList::build(&aos, 4.0, 1.0);
+        let f = compute_forces(&aos, &cells, 1.0, 1.0);
+        assert!(f[0][0] < 0.0, "left particle pushed left");
+        assert!(f[1][0] > 0.0, "right particle pushed right");
+        assert!((f[0][0] + f[1][0]).abs() < 1e-12, "Newton's third law");
+    }
+
+    #[test]
+    fn particles_stay_in_the_box() {
+        let (mut aos, _) = seed_particles(4, 300, 5.0);
+        simulate(&mut aos, 5.0, 1.0, 0.05, 20);
+        for i in 0..aos.len() {
+            let p = aos.position(i);
+            for d in 0..3 {
+                assert!((0.0..=5.0).contains(&p[d]), "particle {i} escaped: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let (a1, _) = seed_particles(9, 50, 10.0);
+        let (a2, _) = seed_particles(9, 50, 10.0);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn kinetic_energy_positive_and_layout_independent() {
+        let (aos, soa) = seed_particles(5, 500, 10.0);
+        assert!(kinetic_energy(&aos) > 0.0);
+        assert_eq!(kinetic_energy(&aos), kinetic_energy(&soa));
+    }
+}

@@ -1,0 +1,47 @@
+//! E5: HLS synthesis runtime and the accelerator-vs-software comparison
+//! across PE counts (the spatial-parallelism knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::hls::accel::{synthesize, HlsConfig};
+
+fn gemm(n: usize) -> everest::ir::Func {
+    let src = format!(
+        "kernel k(a: tensor<{n}x{n}xf64>, b: tensor<{n}x{n}xf64>) -> tensor<{n}x{n}xf64> {{ return a @ b; }}"
+    );
+    everest::dsl::compile_kernels(&src).unwrap().func("k").unwrap().clone()
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_hls_synthesis");
+    for n in [8usize, 16, 32, 64] {
+        let func = gemm(n);
+        group.bench_with_input(BenchmarkId::new("gemm", n), &func, |b, f| {
+            b.iter(|| synthesize(std::hint::black_box(f), &HlsConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pe_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pe_sweep");
+    let func = gemm(32);
+    for pe in [1usize, 4, 16] {
+        let config = HlsConfig { pe, banks: 16, ..HlsConfig::default() };
+        group.bench_with_input(BenchmarkId::new("synthesize_pe", pe), &config, |b, cfg| {
+            b.iter(|| synthesize(std::hint::black_box(&func), cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_synthesis, bench_pe_sweep
+}
+criterion_main!(benches);

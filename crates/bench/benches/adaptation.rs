@@ -1,0 +1,46 @@
+//! E2/E9: cost of the runtime adaptation loop itself (selection must be
+//! cheap relative to kernel invocations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::runtime::adaptation::{run_scenario, Phase, Strategy};
+use everest::runtime::autotuner::SystemState;
+use everest::Sdk;
+
+fn bench_adaptation(c: &mut Criterion) {
+    let sdk = Sdk::small();
+    let compiled = sdk
+        .compile("kernel k(x: tensor<1024xf64>) -> tensor<1024xf64> { return sigmoid(x); }")
+        .unwrap();
+    let points = compiled.kernels[0].variants.clone();
+    let phases = vec![
+        Phase::calm("a", 50),
+        Phase { congestion: 100.0, ..Phase::calm("b", 50) },
+        Phase { free_luts: 0, ..Phase::calm("c", 50) },
+    ];
+    let mut group = c.benchmark_group("e2_scenario");
+    for (label, strategy) in
+        [("static", Strategy::Static(0)), ("adaptive", Strategy::Adaptive), ("oracle", Strategy::Oracle)]
+    {
+        group.bench_with_input(BenchmarkId::new("run", label), &strategy, |b, s| {
+            b.iter(|| run_scenario(std::hint::black_box(&points), &phases, *s))
+        });
+    }
+    group.finish();
+
+    let tuner = compiled.kernels[0].autotuner();
+    c.bench_function("e9_single_selection", |b| {
+        b.iter(|| tuner.select(std::hint::black_box(&SystemState::default())).unwrap().id.clone())
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_adaptation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E8: software crypto throughput (the reference the near-memory engines
+//! are generated from).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use everest::security::modes::{AesCtr, AesGcm};
+use everest::security::{hmac_sha256, sha256, Aes128};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_crypto");
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let payload = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        let gcm = AesGcm::new(&[7u8; 16]);
+        group.bench_with_input(BenchmarkId::new("aes_gcm_seal", size), &payload, |b, p| {
+            b.iter(|| gcm.seal(&[1u8; 12], std::hint::black_box(p), b""))
+        });
+        let ctr = AesCtr::new(&[7u8; 16]);
+        group.bench_with_input(BenchmarkId::new("aes_ctr", size), &payload, |b, p| {
+            b.iter(|| {
+                let mut buf = p.clone();
+                ctr.apply(&[1u8; 12], 1, &mut buf);
+                buf
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &payload, |b, p| {
+            b.iter(|| sha256(std::hint::black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac_sha256", size), &payload, |b, p| {
+            b.iter(|| hmac_sha256(b"key", std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let aes = Aes128::new(&[9u8; 16]);
+    let block = [0x42u8; 16];
+    c.bench_function("e8_aes_block", |b| b.iter(|| aes.encrypt_block(std::hint::black_box(&block))));
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_crypto, bench_block
+}
+criterion_main!(benches);

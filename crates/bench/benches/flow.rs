@@ -1,0 +1,54 @@
+//! E1 (Fig. 1): runtime of the data-driven compilation flow itself —
+//! DSL parse + type-check + IR lowering + canonicalization + variant
+//! generation (including HLS for the hardware points).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::Sdk;
+
+const KERNELS: [(&str, &str); 3] = [
+    (
+        "gemm32",
+        "kernel k(a: tensor<32x32xf64>, b: tensor<32x32xf64>) -> tensor<32x32xf64> { return a @ b; }",
+    ),
+    (
+        "stencil1k",
+        "kernel k(x: tensor<1024xf64>) -> tensor<1024xf64> { return stencil(x, [0.25, 0.5, 0.25]); }",
+    ),
+    (
+        "mlp_layer",
+        "kernel k(w: tensor<32x32xf64>, x: tensor<32x32xf64>) -> tensor<32x32xf64> { return sigmoid(w @ x); }",
+    ),
+];
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_frontend");
+    for (name, src) in KERNELS {
+        group.bench_with_input(BenchmarkId::new("dsl_to_ir", name), &src, |b, src| {
+            b.iter(|| everest::dsl::compile_kernels(std::hint::black_box(src)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_full_flow");
+    let sdk = Sdk::small();
+    for (name, src) in KERNELS {
+        group.bench_with_input(BenchmarkId::new("compile_variants", name), &src, |b, src| {
+            b.iter(|| sdk.compile(std::hint::black_box(src)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_frontend, bench_full_flow
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Compiler-infrastructure microbenchmarks: IR printing, parsing and the
+//! canonicalization pipeline (the middle end of Fig. 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use everest::ir::pass::PassManager;
+use everest::ir::{FuncBuilder, Module, Type};
+
+fn big_module() -> Module {
+    let mut m = Module::new("bench");
+    for fi in 0..8 {
+        let mut fb = FuncBuilder::new(format!("f{fi}"), &[Type::F64, Type::F64], &[Type::F64]);
+        let mut acc = fb.binary("arith.mulf", fb.arg(0), fb.arg(1), Type::F64);
+        for i in 0..200 {
+            let k = fb.const_f(i as f64 * 0.5, Type::F64);
+            let p = fb.binary("arith.mulf", acc, k, Type::F64);
+            acc = fb.binary("arith.addf", p, fb.arg(0), Type::F64);
+        }
+        fb.ret(&[acc]);
+        m.push(fb.finish());
+    }
+    m
+}
+
+fn bench_ir(c: &mut Criterion) {
+    let m = big_module();
+    let text = m.to_text();
+    c.bench_function("ir_print_4800_ops", |b| b.iter(|| std::hint::black_box(&m).to_text()));
+    c.bench_function("ir_parse_4800_ops", |b| {
+        b.iter(|| everest::ir::parse_module(std::hint::black_box(&text)).unwrap())
+    });
+    c.bench_function("ir_verify", |b| b.iter(|| std::hint::black_box(&m).verify().unwrap()));
+    c.bench_function("ir_canonicalize", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            PassManager::standard().run(&mut m2).unwrap();
+            m2
+        })
+    });
+
+    // Structural transforms: a 64-trip loop fully unrolled.
+    let mut fb = FuncBuilder::new("loopy", &[Type::F64], &[Type::F64]);
+    let init = fb.arg(0);
+    let out = fb.for_loop(0, 64, 1, &[init], |fb, iv, c| {
+        let x = fb.unary("arith.sitofp", iv, Type::F64);
+        let p = fb.binary("arith.mulf", c[0], x, Type::F64);
+        vec![fb.binary("arith.addf", p, x, Type::F64)]
+    });
+    fb.ret(&[out[0]]);
+    let loopy = fb.finish();
+    c.bench_function("ir_unroll_64_trips", |b| {
+        b.iter(|| {
+            let mut f2 = loopy.clone();
+            everest::ir::transforms::unroll_func(&mut f2, 128);
+            f2
+        })
+    });
+    c.bench_function("ir_interpret_64_trip_loop", |b| {
+        use everest::ir::interp::{Interp, RtValue};
+        b.iter(|| Interp::new().call(&loopy, &[RtValue::Float(1.1)]).unwrap())
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_ir
+}
+criterion_main!(benches);

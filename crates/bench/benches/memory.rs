@@ -1,0 +1,45 @@
+//! E6: memory-partitioning analysis cost and the banks x scheme ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::hls::memory::{Partitioning, Scheme};
+
+fn bench_conflict_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_conflict_analysis");
+    let offsets: Vec<i64> = (-4..=4).collect();
+    for banks in [2usize, 8, 32] {
+        for scheme in [Scheme::Block, Scheme::Cyclic] {
+            let p = Partitioning::new(4096, banks, scheme, 2).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{scheme}"), banks),
+                &p,
+                |b, p| b.iter(|| p.min_ii(std::hint::black_box(&offsets))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let p = Partitioning::new(1 << 16, 16, Scheme::Cyclic, 2).unwrap();
+    c.bench_function("e6_map_64k_elements", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..(1usize << 16) {
+                acc ^= p.map(std::hint::black_box(i)).0;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_conflict_analysis, bench_mapping
+}
+criterion_main!(benches);

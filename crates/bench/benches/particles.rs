@@ -1,0 +1,55 @@
+//! Layout ablation: the AoS vs SoA effect the variants cost model
+//! predicts, measured on the real particle kernels (paper III-B:
+//! "layouts of particles as array-of-structures or structure-of-arrays").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::apps::particles::{
+    kinetic_energy, seed_particles, simulate, CellList, ParticleStorage,
+};
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_streaming_sweep");
+    for n in [1_000usize, 10_000] {
+        let (aos, soa) = seed_particles(7, n, 20.0);
+        group.bench_with_input(BenchmarkId::new("aos_kinetic", n), &aos, |b, s| {
+            b.iter(|| kinetic_energy(std::hint::black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("soa_kinetic", n), &soa, |b, s| {
+            b.iter(|| kinetic_energy(std::hint::black_box(s)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("layout_full_step");
+    let (aos, soa) = seed_particles(7, 4_000, 20.0);
+    group.bench_function("aos_sim_step", |b| {
+        b.iter(|| {
+            let mut s = aos.clone();
+            simulate(&mut s, 20.0, 1.5, 0.01, 1)
+        })
+    });
+    group.bench_function("soa_sim_step", |b| {
+        b.iter(|| {
+            let mut s = soa.clone();
+            simulate(&mut s, 20.0, 1.5, 0.01, 1)
+        })
+    });
+    group.finish();
+
+    c.bench_function("cell_list_build_10k", |b| {
+        let (aos, _) = seed_particles(9, 10_000, 20.0);
+        b.iter(|| CellList::build(std::hint::black_box(&aos), 20.0, 1.5))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E3/E4: placement evaluation and the platform simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use everest::platform::ecosystem::{best_placement, Stage};
+use everest::platform::{Link, Sim, System};
+
+fn bench_platform(c: &mut Criterion) {
+    c.bench_function("e3_best_placement_3_stages", |b| {
+        let stages = vec![
+            Stage::new("a", 2e6, 10_000, false),
+            Stage::new("b", 5e8, 1_000, true),
+            Stage::new("c", 5e9, 500, true),
+        ];
+        b.iter(|| best_placement(std::hint::black_box(&stages), 1_000_000))
+    });
+
+    c.bench_function("e4_transfer_model", |b| {
+        let bus = Link::opencapi();
+        let net = Link::udp_datacenter();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for size in [1u64 << 10, 1 << 16, 1 << 20, 1 << 24] {
+                acc += bus.transfer_us(size) + net.transfer_us(size);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("platform_reference_system_build", |b| {
+        b.iter(System::everest_reference)
+    });
+
+    c.bench_function("platform_sim_1000_activities", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for i in 0..1000 {
+                sim.run(if i % 3 == 0 { "fpga" } else { "cpu" }, "k", 0.0, 5.0);
+            }
+            sim.makespan()
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_platform
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E11: PTDR Monte-Carlo sampling cost and traffic assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use everest::apps::traffic::{
+    assign_traffic, generate_fcd, ptdr_travel_time, random_od, shortest_route, RoadNetwork,
+    SpeedProfiles,
+};
+
+fn bench_ptdr(c: &mut Criterion) {
+    let network = RoadNetwork::grid(2026, 10, 1.0);
+    let fcd = generate_fcd(&network, 7, 100_000);
+    let profiles = SpeedProfiles::learn(&network, &fcd);
+    let route = shortest_route(&network, &profiles, 0, network.nodes.len() - 1, 8).unwrap();
+    let mut group = c.benchmark_group("e11_ptdr");
+    for samples in [100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(BenchmarkId::new("samples", samples), &samples, |b, s| {
+            b.iter(|| ptdr_travel_time(&network, &profiles, &route, 8.0, *s, 1))
+        });
+    }
+    group.finish();
+
+    let od = random_od(&network, 4, 40, 700.0);
+    c.bench_function("e11_assignment_6_iters", |b| {
+        b.iter(|| assign_traffic(&network, &profiles, std::hint::black_box(&od), 8, 6))
+    });
+    c.bench_function("e11_dijkstra", |b| {
+        b.iter(|| shortest_route(&network, &profiles, 0, network.nodes.len() - 1, 8).unwrap())
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_ptdr
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E12/E13: use-case kernels — ensemble forecasting and plume dispersion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::apps::{airquality, weather};
+
+fn bench_weather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_wind_forecast");
+    for res_km in [25.0f64, 12.0, 6.0] {
+        group.bench_with_input(
+            BenchmarkId::new("resolution_km", res_km as u64),
+            &res_km,
+            |b, r| b.iter(|| weather::evaluate_resolution(42, 100.0, 2.0, *r, 5).rmse_mw()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_airquality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_plume");
+    let met = airquality::Meteo {
+        wind_ms: 2.5,
+        wind_dir_rad: 0.35,
+        stability: airquality::Stability::E,
+    };
+    for cells in [16usize, 48, 96] {
+        let model = airquality::reference_site(cells);
+        group.bench_with_input(BenchmarkId::new("grid", cells), &model, |b, m| {
+            b.iter(|| m.exceedance(std::hint::black_box(&met), 50.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_weather, bench_airquality
+}
+criterion_main!(benches);

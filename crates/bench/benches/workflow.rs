@@ -1,0 +1,49 @@
+//! E10: workflow-platform scheduling throughput across workers and DAG
+//! shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest::workflow::{exec::simulate, Policy, TaskGraph, Worker};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_scheduling");
+    let graphs = [
+        TaskGraph::wide(128, 500.0, 10_000),
+        TaskGraph::deep(128, 500.0, 10_000),
+        TaskGraph::random(5, 8, 16, 500.0),
+    ];
+    for g in &graphs {
+        for workers in [4usize, 16, 64] {
+            let pool = Worker::uniform_pool(workers, 1.0);
+            group.bench_with_input(
+                BenchmarkId::new(g.name.clone(), workers),
+                &pool,
+                |b, pool| b.iter(|| simulate(std::hint::black_box(g), pool, Policy::Heft).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_policies");
+    let g = TaskGraph::random(9, 10, 20, 300.0);
+    let pool = Worker::heterogeneous_pool(4, 12);
+    for policy in [Policy::Fifo, Policy::MinLoad, Policy::Heft] {
+        group.bench_with_input(BenchmarkId::new("policy", policy), &policy, |b, p| {
+            b.iter(|| simulate(std::hint::black_box(&g), &pool, *p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short measurement windows keep the full-workspace bench run within
+    // CI budgets; pass your own -- flags for high-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_scaling, bench_policies
+}
+criterion_main!(benches);

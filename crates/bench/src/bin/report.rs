@@ -1,0 +1,8 @@
+//! Prints the full E1–E16 experiment report.
+//!
+//! Run with: `cargo run -p everest-bench --bin report` (use `--release`
+//! for representative E8/E11/E13 timings).
+
+fn main() {
+    print!("{}", everest_bench::experiments::full_report());
+}

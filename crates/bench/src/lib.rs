@@ -1,0 +1,19 @@
+//! # everest-bench — the experiment harness
+//!
+//! The EVEREST paper (DATE 2021) is a project-overview paper without
+//! quantitative tables; its four figures are architecture diagrams and its
+//! Section VI-D lists claimed benefits. This crate turns **every figure
+//! and every claim into an executable experiment** (E1–E16, indexed in
+//! `DESIGN.md`):
+//!
+//! * the `report` binary (`cargo run -p everest-bench --bin report`)
+//!   regenerates every experiment table; `EXPERIMENTS.md` records the
+//!   paper-claim vs. measured comparison;
+//! * the Criterion benches under `benches/` measure the real runtime of
+//!   the reproduction's own machinery (compilation flow, HLS, crypto,
+//!   Monte-Carlo routing, workflow simulation).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

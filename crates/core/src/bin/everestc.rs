@@ -1,0 +1,96 @@
+//! `everestc` — a command-line front door to the EVEREST SDK.
+//!
+//! ```text
+//! everestc ir <kernels.edsl>              print the unified IR
+//! everestc variants <kernels.edsl>       print the variant table per kernel
+//! everestc rtl <kernels.edsl> <kernel>   print the synthesized RTL
+//! everestc workflow <pipeline.ewf>       validate + print a workflow
+//! ```
+
+use everest::Sdk;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  everestc ir <kernels.edsl>\n  everestc variants <kernels.edsl>\n  \
+         everestc rtl <kernels.edsl> <kernel>\n  everestc workflow <pipeline.ewf>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    match run(cmd, rest) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?)
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let sdk = Sdk::new();
+    match (cmd, rest) {
+        ("ir", [path]) => {
+            let source = read(path)?;
+            let module = everest::dsl::compile_kernels(&source)?;
+            print!("{}", module.to_text());
+            Ok(ExitCode::SUCCESS)
+        }
+        ("variants", [path]) => {
+            let source = read(path)?;
+            let compiled = sdk.compile(&source)?;
+            for kernel in &compiled.kernels {
+                println!("kernel {} — {} variants:", kernel.name, kernel.variants.len());
+                for v in &kernel.variants {
+                    println!(
+                        "  {:<16} target={:<9} total={:>10.2} us  energy={:>9.4} mJ  luts={}",
+                        v.id,
+                        v.target().to_string(),
+                        v.metrics.total_us(),
+                        v.metrics.energy_mj,
+                        v.metrics.area_luts
+                    );
+                }
+                let front = kernel.pareto_front();
+                let ids: Vec<&str> = front.iter().map(|v| v.id.as_str()).collect();
+                println!("  pareto: {}", ids.join(", "));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        ("rtl", [path, kernel]) => {
+            let source = read(path)?;
+            let acc = sdk.synthesize_kernel(&source, kernel)?;
+            eprintln!(
+                "// {}: {} cycles @ {} MHz, II={}, pe={}, area: {}",
+                acc.name, acc.latency_cycles, acc.clock_mhz, acc.innermost_ii, acc.pe, acc.area
+            );
+            print!("{}", acc.rtl);
+            Ok(ExitCode::SUCCESS)
+        }
+        ("workflow", [path]) => {
+            let source = read(path)?;
+            let spec = everest::dsl::WorkflowSpec::parse(&source)?;
+            println!("workflow {} — {} steps", spec.name, spec.steps.len());
+            let module = spec.to_ir()?;
+            print!("{}", module.to_text());
+            let graph = everest::task_graph_from_workflow(&spec, |_| (1_000.0, 10_000));
+            println!(
+                "// task graph: {} tasks, critical path {:.1} ms (unit costs)",
+                graph.len(),
+                graph.critical_path_us() / 1e3
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}

@@ -1,0 +1,99 @@
+//! Bridges between subsystems: workflow DSL specs → HyperLoom-style task
+//! graphs (the paper's "higher-level coordination of the workflow kernels
+//! ... and its integration on HyperLoom").
+
+use everest_dsl::{WorkflowSpec, WorkflowStep};
+use everest_workflow::{TaskGraph, TaskId};
+use std::collections::HashMap;
+
+/// Converts a validated workflow spec into an executable task graph.
+///
+/// `cost_of` supplies `(cost_us, output_bytes)` per task name — typically
+/// from the variant metrics of the kernels the tasks invoke. Sources and
+/// sinks become lightweight I/O tasks.
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent (call [`WorkflowSpec::validate`]
+/// first; specs from [`WorkflowSpec::parse`] are always valid).
+pub fn task_graph_from_workflow(
+    spec: &WorkflowSpec,
+    mut cost_of: impl FnMut(&str) -> (f64, u64),
+) -> TaskGraph {
+    let mut graph = TaskGraph::new(spec.name.clone());
+    // Producer of each data item: task id in the graph.
+    let mut producer: HashMap<&str, TaskId> = HashMap::new();
+    for step in &spec.steps {
+        match step {
+            WorkflowStep::Source { name, kind } => {
+                let (cost, bytes) = cost_of(kind);
+                let id = graph.add_task(format!("source:{kind}"), cost.max(1.0), bytes, &[]);
+                producer.insert(name, id);
+            }
+            WorkflowStep::Task { name, inputs, outputs } => {
+                let deps: Vec<TaskId> = inputs
+                    .iter()
+                    .map(|i| *producer.get(i.as_str()).expect("validated spec"))
+                    .collect();
+                let (cost, bytes) = cost_of(name);
+                let id = graph.add_task(name.clone(), cost.max(1.0), bytes, &deps);
+                for out in outputs {
+                    producer.insert(out, id);
+                }
+            }
+            WorkflowStep::Sink { name, kind } => {
+                let dep = *producer.get(name.as_str()).expect("validated spec");
+                graph.add_task(format!("sink:{kind}"), 1.0, 0, &[dep]);
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_workflow::exec::simulate;
+    use everest_workflow::{Policy, Worker};
+
+    const WF: &str = r#"
+        workflow forecast {
+            source raw: "weather-feed";
+            source hist: "history-db";
+            task downscale(raw) -> fine;
+            task predict(fine, hist) -> power;
+            sink power: "trading-desk";
+        }
+    "#;
+
+    #[test]
+    fn converts_spec_structure() {
+        let spec = WorkflowSpec::parse(WF).unwrap();
+        let graph = task_graph_from_workflow(&spec, |name| match name {
+            "downscale" => (5_000.0, 100_000),
+            "predict" => (2_000.0, 1_000),
+            _ => (10.0, 10_000),
+        });
+        // 2 sources + 2 tasks + 1 sink.
+        assert_eq!(graph.len(), 5);
+        // predict depends on downscale's output and the history source.
+        let predict = graph.tasks().iter().find(|t| t.name == "predict").unwrap();
+        assert_eq!(predict.deps.len(), 2);
+    }
+
+    #[test]
+    fn converted_graph_executes() {
+        let spec = WorkflowSpec::parse(WF).unwrap();
+        let graph = task_graph_from_workflow(&spec, |_| (100.0, 1_000));
+        let run = simulate(&graph, &Worker::uniform_pool(2, 1.0), Policy::Heft).unwrap();
+        assert!(run.makespan_us >= 300.0, "three chained levels of 100us");
+    }
+
+    #[test]
+    fn costs_flow_through() {
+        let spec = WorkflowSpec::parse(WF).unwrap();
+        let cheap = task_graph_from_workflow(&spec, |_| (10.0, 0));
+        let pricey = task_graph_from_workflow(&spec, |_| (10_000.0, 0));
+        assert!(pricey.total_work_us() > 100.0 * cheap.total_work_us());
+    }
+}

@@ -1,0 +1,95 @@
+//! SDK-level error type aggregating every subsystem failure.
+
+use std::fmt;
+
+/// Result alias for SDK operations.
+pub type SdkResult<T> = Result<T, SdkError>;
+
+/// Any failure along the compile → deploy → run pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdkError {
+    /// DSL front-end failure.
+    Dsl(everest_dsl::DslError),
+    /// IR verification/transformation failure.
+    Ir(everest_ir::IrError),
+    /// HLS synthesis failure.
+    Hls(everest_hls::HlsError),
+    /// Platform/deployment failure.
+    Platform(everest_platform::PlatformError),
+    /// Runtime failure.
+    Runtime(everest_runtime::RuntimeError),
+    /// Workflow failure.
+    Workflow(everest_workflow::WorkflowError),
+}
+
+impl fmt::Display for SdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkError::Dsl(e) => write!(f, "dsl: {e}"),
+            SdkError::Ir(e) => write!(f, "ir: {e}"),
+            SdkError::Hls(e) => write!(f, "hls: {e}"),
+            SdkError::Platform(e) => write!(f, "platform: {e}"),
+            SdkError::Runtime(e) => write!(f, "runtime: {e}"),
+            SdkError::Workflow(e) => write!(f, "workflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SdkError {}
+
+impl From<everest_dsl::DslError> for SdkError {
+    fn from(e: everest_dsl::DslError) -> SdkError {
+        SdkError::Dsl(e)
+    }
+}
+
+impl From<everest_ir::IrError> for SdkError {
+    fn from(e: everest_ir::IrError) -> SdkError {
+        SdkError::Ir(e)
+    }
+}
+
+impl From<everest_hls::HlsError> for SdkError {
+    fn from(e: everest_hls::HlsError) -> SdkError {
+        SdkError::Hls(e)
+    }
+}
+
+impl From<everest_platform::PlatformError> for SdkError {
+    fn from(e: everest_platform::PlatformError) -> SdkError {
+        SdkError::Platform(e)
+    }
+}
+
+impl From<everest_runtime::RuntimeError> for SdkError {
+    fn from(e: everest_runtime::RuntimeError) -> SdkError {
+        SdkError::Runtime(e)
+    }
+}
+
+impl From<everest_workflow::WorkflowError> for SdkError {
+    fn from(e: everest_workflow::WorkflowError) -> SdkError {
+        SdkError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_subsystem_errors() {
+        let e: SdkError = everest_dsl::DslError::parse(3, "bad token").into();
+        assert_eq!(e.to_string(), "dsl: parse error at line 3: bad token");
+        let e: SdkError = everest_runtime::RuntimeError::NoFeasiblePoint.into();
+        assert!(e.to_string().starts_with("runtime:"));
+    }
+
+    #[test]
+    fn usable_as_boxed_error() {
+        fn returns_boxed() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+            Err(Box::new(SdkError::Runtime(everest_runtime::RuntimeError::NoFeasiblePoint)))
+        }
+        assert!(returns_boxed().is_err());
+    }
+}

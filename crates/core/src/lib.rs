@@ -1,0 +1,55 @@
+//! # everest — the EVEREST System Development Kit
+//!
+//! "The EVEREST SDK is a design environment to ease the description,
+//! optimization and execution of Big Data applications with heterogeneous
+//! data sources onto FPGA-based architectures, operating at design and run
+//! time" (paper Section II). This crate is the façade over the whole
+//! reproduction:
+//!
+//! | paper concept | crate |
+//! |---|---|
+//! | unified MLIR-like IR + passes (Fig. 1) | [`ir`] |
+//! | tensor & workflow DSLs | [`dsl`] |
+//! | HLS engine ("Bambu") + TaintHLS DIFT | [`hls`] |
+//! | hardware/software variants + DSE | [`variants`] |
+//! | target system (Fig. 3/4) + simulator | [`platform`] |
+//! | HyperLoom-style workflow platform | [`workflow`] |
+//! | virtualized runtime + mARGOt autotuner (Fig. 2) | [`runtime`] |
+//! | crypto + monitors + auto-protection | [`security`] |
+//! | the three industrial use cases (VI) | [`apps`] |
+//!
+//! The [`Sdk`] type drives the end-to-end flow:
+//!
+//! ```
+//! use everest::Sdk;
+//!
+//! let sdk = Sdk::new();
+//! let compiled = sdk.compile(
+//!     "kernel axpy(a: tensor<64xf64>, b: tensor<64xf64>) -> tensor<64xf64> {
+//!          return 2.0 * a + b;
+//!      }",
+//! ).unwrap();
+//! let kernel = &compiled.kernels[0];
+//! assert_eq!(kernel.name, "axpy");
+//! assert!(kernel.variants.len() > 2);
+//! assert!(kernel.pareto_front().len() <= kernel.variants.len());
+//! ```
+
+pub mod bridge;
+pub mod error;
+pub mod sdk;
+
+pub use bridge::task_graph_from_workflow;
+pub use error::{SdkError, SdkResult};
+pub use sdk::{Compiled, CompiledKernel, Deployment, Sdk};
+
+// Re-export the subsystem crates under stable names.
+pub use everest_apps as apps;
+pub use everest_dsl as dsl;
+pub use everest_hls as hls;
+pub use everest_ir as ir;
+pub use everest_platform as platform;
+pub use everest_runtime as runtime;
+pub use everest_security as security;
+pub use everest_variants as variants;
+pub use everest_workflow as workflow;

@@ -1,0 +1,307 @@
+//! The [`Sdk`] façade: compile kernels, explore variants, deploy roles to
+//! the target system, and wire the runtime.
+
+use crate::error::SdkResult;
+use everest_dsl::compile_kernels;
+use everest_hls::accel::{synthesize, HlsConfig};
+use everest_ir::pass::PassManager;
+use everest_ir::Module;
+use everest_platform::System;
+use everest_runtime::{Autotuner, Hypervisor};
+use everest_variants::space::DesignSpace;
+use everest_variants::{pareto, Variant};
+
+/// A compiled kernel: its variants (operating points) and the Pareto set.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel symbol name.
+    pub name: String,
+    /// All generated variants.
+    pub variants: Vec<Variant>,
+}
+
+impl CompiledKernel {
+    /// The Pareto-optimal subset of the variants.
+    pub fn pareto_front(&self) -> Vec<Variant> {
+        pareto::pareto_front(&self.variants)
+    }
+
+    /// The fastest variant.
+    pub fn fastest(&self) -> Option<&Variant> {
+        pareto::fastest(&self.variants)
+    }
+
+    /// An autotuner pre-loaded with this kernel's operating points.
+    pub fn autotuner(&self) -> Autotuner {
+        Autotuner::new(self.variants.clone())
+    }
+}
+
+/// Output of [`Sdk::compile`].
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The optimized unified IR module.
+    pub module: Module,
+    /// Per-kernel variant sets, in declaration order.
+    pub kernels: Vec<CompiledKernel>,
+}
+
+impl Compiled {
+    /// Looks up one kernel's compilation result.
+    pub fn kernel(&self, name: &str) -> Option<&CompiledKernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// A deployment of compiled kernels onto a node's FPGA devices.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The hypervisor managing the node's devices and guest VMs.
+    pub hypervisor: Hypervisor,
+    /// `(kernel, vfpga handle)` pairs for the hardware variants deployed.
+    pub placements: Vec<(String, String)>,
+}
+
+/// The EVEREST SDK: configuration plus the compile/deploy entry points.
+#[derive(Debug, Clone)]
+pub struct Sdk {
+    /// Design space swept per kernel.
+    pub space: DesignSpace,
+    /// HLS configuration for hardware variants.
+    pub hls: HlsConfig,
+    /// The target system model.
+    pub system: System,
+}
+
+impl Default for Sdk {
+    fn default() -> Sdk {
+        Sdk::new()
+    }
+}
+
+impl Sdk {
+    /// An SDK over the reference EVEREST system with the default design
+    /// space.
+    pub fn new() -> Sdk {
+        Sdk {
+            space: DesignSpace::default(),
+            hls: HlsConfig::default(),
+            system: System::everest_reference(),
+        }
+    }
+
+    /// An SDK with a minimal design space (fast unit tests / examples).
+    pub fn small() -> Sdk {
+        Sdk { space: DesignSpace::small(), ..Sdk::new() }
+    }
+
+    /// Compiles tensor-DSL source: parse + type-check, lower to the unified
+    /// IR, canonicalize, then generate the variant set for every kernel
+    /// (the full Fig. 1 flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] for DSL, verification or HLS failures.
+    pub fn compile(&self, source: &str) -> SdkResult<Compiled> {
+        let mut module = compile_kernels(source)?;
+        PassManager::standard().run(&mut module)?;
+        module.verify()?;
+        let mut kernels = Vec::new();
+        for func in module.iter() {
+            let variants = everest_variants::generate(func, &self.space)?;
+            kernels.push(CompiledKernel { name: func.name.clone(), variants });
+        }
+        Ok(Compiled { module, kernels })
+    }
+
+    /// Synthesizes one kernel to an accelerator artifact (RTL + reports)
+    /// without variant exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] for DSL or HLS failures.
+    pub fn synthesize_kernel(&self, source: &str, kernel: &str) -> SdkResult<everest_hls::Accelerator> {
+        let module = compile_kernels(source)?;
+        let func = module
+            .func(kernel)
+            .ok_or_else(|| everest_ir::IrError::UnknownSymbol(kernel.to_owned()))?;
+        Ok(synthesize(func, &self.hls)?)
+    }
+
+    /// Parses a workflow and binds it to previously compiled kernels: a
+    /// task whose callee matches a compiled kernel is costed with that
+    /// kernel's fastest variant (latency + its result size); unmatched
+    /// tasks get a nominal I/O cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] when the workflow source is invalid.
+    pub fn compile_workflow(
+        &self,
+        source: &str,
+        compiled: &Compiled,
+    ) -> SdkResult<(everest_dsl::WorkflowSpec, everest_workflow::TaskGraph)> {
+        let spec = everest_dsl::WorkflowSpec::parse(source)?;
+        let graph = crate::bridge::task_graph_from_workflow(&spec, |name| {
+            match compiled.kernel(name) {
+                Some(kernel) => {
+                    let cost = kernel
+                        .fastest()
+                        .map(|v| v.metrics.total_us())
+                        .unwrap_or(100.0);
+                    let bytes = compiled
+                        .module
+                        .func(name)
+                        .and_then(|f| f.results.first())
+                        .and_then(|t| t.byte_size())
+                        .unwrap_or(10_000) as u64;
+                    (cost, bytes)
+                }
+                None => (100.0, 10_000),
+            }
+        });
+        Ok((spec, graph))
+    }
+
+    /// Deploys the fastest hardware variant of every kernel onto the named
+    /// node, creating a guest VM with vFPGA handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] if the node is unknown or the fabric
+    /// cannot host a role.
+    pub fn deploy(&self, compiled: &Compiled, node: &str) -> SdkResult<Deployment> {
+        let node_model = self
+            .system
+            .node_by_name(node)
+            .ok_or_else(|| everest_platform::PlatformError::Unknown(node.to_owned()))?;
+        let mut hypervisor = Hypervisor::new(node, node_model.devices.clone());
+        hypervisor.create_vm("guest0", 4, "linux");
+        let mut placements = Vec::new();
+        for kernel in &compiled.kernels {
+            let Some(hw) = kernel
+                .variants
+                .iter()
+                .filter(|v| v.is_hardware())
+                .min_by(|a, b| a.metrics.total_us().total_cmp(&b.metrics.total_us()))
+            else {
+                continue;
+            };
+            let area = everest_hls::AreaReport {
+                luts: hw.metrics.area_luts,
+                ffs: hw.metrics.area_luts, // FF≈LUT at this granularity
+                dsps: 8,
+                brams: hw.metrics.area_brams,
+            };
+            let handle = hypervisor.attach_vfpga("guest0", &kernel.name, area)?;
+            placements.push((kernel.name.clone(), handle));
+        }
+        Ok(Deployment { hypervisor, placements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        kernel gemm(a: tensor<16x16xf64>, b: tensor<16x16xf64>) -> tensor<16x16xf64> {
+            return a @ b;
+        }
+        kernel smooth(x: tensor<64xf64>) -> tensor<64xf64> {
+            return stencil(x, [0.25, 0.5, 0.25]);
+        }
+    ";
+
+    #[test]
+    fn compile_generates_variants_per_kernel() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        assert_eq!(compiled.kernels.len(), 2);
+        let gemm = compiled.kernel("gemm").unwrap();
+        assert_eq!(gemm.variants.len(), sdk.space.size());
+        assert!(gemm.fastest().is_some());
+        assert!(!gemm.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn compile_rejects_bad_source() {
+        let sdk = Sdk::small();
+        assert!(matches!(
+            sdk.compile("kernel broken(").unwrap_err(),
+            crate::SdkError::Dsl(_)
+        ));
+    }
+
+    #[test]
+    fn synthesize_kernel_produces_rtl() {
+        let sdk = Sdk::small();
+        let acc = sdk.synthesize_kernel(SRC, "smooth").unwrap();
+        assert!(acc.rtl.contains("module smooth_loops"));
+        assert!(acc.latency_cycles > 0);
+    }
+
+    #[test]
+    fn synthesize_unknown_kernel_fails() {
+        let sdk = Sdk::small();
+        assert!(matches!(
+            sdk.synthesize_kernel(SRC, "ghost").unwrap_err(),
+            crate::SdkError::Ir(everest_ir::IrError::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn deploy_places_hardware_variants() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        let deployment = sdk.deploy(&compiled, "cloud-p9").unwrap();
+        assert_eq!(deployment.placements.len(), 2);
+        assert!(deployment.hypervisor.vm("guest0").is_some());
+    }
+
+    #[test]
+    fn deploy_to_unknown_node_fails() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        assert!(matches!(
+            sdk.deploy(&compiled, "mars").unwrap_err(),
+            crate::SdkError::Platform(_)
+        ));
+    }
+
+    #[test]
+    fn compile_workflow_binds_kernel_costs() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        let (spec, graph) = sdk
+            .compile_workflow(
+                "workflow w { source raw: \"in\"; task gemm(raw) -> out; sink out: \"done\"; }",
+                &compiled,
+            )
+            .unwrap();
+        assert_eq!(spec.task_names(), vec!["gemm"]);
+        let gemm_task = graph.tasks().iter().find(|t| t.name == "gemm").unwrap();
+        // The bridge clamps task costs to >= 1 us (scheduler granularity).
+        let expected =
+            compiled.kernel("gemm").unwrap().fastest().unwrap().metrics.total_us().max(1.0);
+        assert!((gemm_task.cost_us - expected).abs() < 1e-9);
+        // Output bytes come from the kernel's declared result tensor.
+        assert_eq!(gemm_task.output_bytes, 16 * 16 * 8);
+    }
+
+    #[test]
+    fn compile_workflow_rejects_bad_source() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        assert!(sdk.compile_workflow("workflow broken {", &compiled).is_err());
+    }
+
+    #[test]
+    fn autotuner_integrates_with_compiled_kernels() {
+        let sdk = Sdk::small();
+        let compiled = sdk.compile(SRC).unwrap();
+        let tuner = compiled.kernel("gemm").unwrap().autotuner();
+        let choice = tuner.select(&Default::default()).unwrap();
+        assert!(compiled.kernel("gemm").unwrap().variants.iter().any(|v| v.id == choice.id));
+    }
+}

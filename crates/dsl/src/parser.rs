@@ -1,0 +1,458 @@
+//! Recursive-descent parser for the tensor-expression DSL.
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! program  := kernel*
+//! kernel   := "kernel" IDENT "(" params? ")" "->" type "{" stmt* "}"
+//! params   := param ("," param)*
+//! param    := IDENT ":" type
+//! type     := "f32" | "f64" | "tensor" "<" (INT "x")* elem ">"
+//! stmt     := "var" IDENT "=" expr ";" | "return" expr ";"
+//! expr     := term (("+"|"-") term)*
+//! term     := factor (("*"|"/"|"@") factor)*
+//! factor   := NUM | IDENT | IDENT "(" args ")" | "(" expr ")" | "-" factor
+//! args     := (expr | "[" NUM ("," NUM)* "]") ("," ...)*
+//! ```
+
+use crate::ast::{BinOp, ElemTy, Expr, Kernel, Param, Program, Stmt, TensorTy};
+use crate::error::{DslError, DslResult};
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns [`DslError`] with the offending line on malformed input.
+pub fn parse_program(source: &str) -> DslResult<Program> {
+    let toks = lex(source)?;
+    let mut p = P { toks, pos: 0 };
+    let mut kernels = Vec::new();
+    while !p.at_end() {
+        kernels.push(p.kernel()?);
+    }
+    Ok(Program { kernels })
+}
+
+struct P {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> DslResult<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DslError::parse(self.line(), "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.tok)
+    }
+
+    fn expect(&mut self, want: &Tok) -> DslResult<()> {
+        let line = self.line();
+        let got = self.bump()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(DslError::parse(line, format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> DslResult<String> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(DslError::parse(line, format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> DslResult<()> {
+        let line = self.line();
+        let name = self.ident()?;
+        if name == kw {
+            Ok(())
+        } else {
+            Err(DslError::parse(line, format!("expected '{kw}', got '{name}'")))
+        }
+    }
+
+    fn kernel(&mut self) -> DslResult<Kernel> {
+        let line = self.line();
+        self.keyword("kernel")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Arrow)?;
+        let ret = self.ty()?;
+        self.expect(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            body.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Kernel { name, params, ret, body, line })
+    }
+
+    fn ty(&mut self) -> DslResult<TensorTy> {
+        let line = self.line();
+        let name = self.ident()?;
+        match name.as_str() {
+            "f32" => Ok(TensorTy::scalar(ElemTy::F32)),
+            "f64" => Ok(TensorTy::scalar(ElemTy::F64)),
+            "tensor" => {
+                self.expect(&Tok::Lt)?;
+                let mut shape = Vec::new();
+                let elem;
+                loop {
+                    let line = self.line();
+                    match self.bump()? {
+                        Tok::Int(d) => {
+                            if d <= 0 {
+                                return Err(DslError::parse(line, "dimension must be positive"));
+                            }
+                            shape.push(d as usize);
+                            // Dims are written `4x8xf64`; the lexer splits
+                            // this into Int(4), Ident("x8xf64")... only when
+                            // digits and idents collide. To keep the grammar
+                            // simple we require `4 x 8 x f64` OR the fused
+                            // `4x8xf64` form handled below.
+                            match self.bump()? {
+                                Tok::Ident(rest) => {
+                                    // e.g. "x8xf64" or "x" alone
+                                    let mut parsed =
+                                        parse_fused_dims(&rest, &mut shape, line)?;
+                                    if let Some(e) = parsed.take() {
+                                        elem = e;
+                                        break;
+                                    }
+                                }
+                                other => {
+                                    return Err(DslError::parse(
+                                        line,
+                                        format!("expected 'x' separator, got {other:?}"),
+                                    ))
+                                }
+                            }
+                        }
+                        Tok::Ident(word) => {
+                            elem = elem_of(&word, line)?;
+                            break;
+                        }
+                        other => {
+                            return Err(DslError::parse(
+                                line,
+                                format!("expected dimension or element type, got {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                self.expect(&Tok::Gt)?;
+                Ok(TensorTy { elem, shape })
+            }
+            other => Err(DslError::parse(line, format!("unknown type '{other}'"))),
+        }
+    }
+
+    fn stmt(&mut self) -> DslResult<Stmt> {
+        let line = self.line();
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "var" => {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let expr = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Var { name, expr, line })
+            }
+            "return" => {
+                let expr = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return { expr, line })
+            }
+            other => Err(DslError::parse(line, format!("expected 'var' or 'return', got '{other}'"))),
+        }
+    }
+
+    fn expr(&mut self) -> DslResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> DslResult<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::At) => BinOp::MatMul,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> DslResult<Expr> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Int(v) => Ok(Expr::Num { value: v as f64, line }),
+            Tok::Float(v) => Ok(Expr::Num { value: v, line }),
+            Tok::Minus => {
+                let inner = self.factor()?;
+                Ok(Expr::Binary {
+                    op: BinOp::Sub,
+                    lhs: Box::new(Expr::Num { value: 0.0, line }),
+                    rhs: Box::new(inner),
+                    line,
+                })
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    let mut list = None;
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            if self.peek() == Some(&Tok::LBracket) {
+                                list = Some(self.num_list()?);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call { name, args, list, line })
+                } else {
+                    Ok(Expr::Var { name, line })
+                }
+            }
+            other => Err(DslError::parse(line, format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn num_list(&mut self) -> DslResult<Vec<f64>> {
+        self.expect(&Tok::LBracket)?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Tok::RBracket) {
+            loop {
+                let line = self.line();
+                let neg = self.eat(&Tok::Minus);
+                let v = match self.bump()? {
+                    Tok::Int(v) => v as f64,
+                    Tok::Float(v) => v,
+                    other => {
+                        return Err(DslError::parse(line, format!("expected number, got {other:?}")))
+                    }
+                };
+                out.push(if neg { -v } else { v });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBracket)?;
+        Ok(out)
+    }
+}
+
+fn elem_of(word: &str, line: usize) -> DslResult<ElemTy> {
+    match word {
+        "f32" => Ok(ElemTy::F32),
+        "f64" => Ok(ElemTy::F64),
+        other => Err(DslError::parse(line, format!("unknown element type '{other}'"))),
+    }
+}
+
+/// Parses the fused `x8xf64`-style tail of a tensor type. Returns
+/// `Some(elem)` when the element type was reached.
+fn parse_fused_dims(
+    rest: &str,
+    shape: &mut Vec<usize>,
+    line: usize,
+) -> DslResult<Option<ElemTy>> {
+    let mut s = rest;
+    loop {
+        let Some(stripped) = s.strip_prefix('x') else {
+            return Err(DslError::parse(line, format!("expected 'x' separator in '{rest}'")));
+        };
+        s = stripped;
+        // Try element type first.
+        if s == "f32" || s == "f64" {
+            return Ok(Some(elem_of(s, line)?));
+        }
+        // Otherwise a run of digits, optionally followed by more 'x...'.
+        let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return Err(DslError::parse(line, format!("bad tensor dimensions '{rest}'")));
+        }
+        let d: usize = digits
+            .parse()
+            .map_err(|_| DslError::parse(line, format!("bad dimension '{digits}'")))?;
+        if d == 0 {
+            return Err(DslError::parse(line, "dimension must be positive"));
+        }
+        shape.push(d);
+        s = &s[digits.len()..];
+        if s.is_empty() {
+            // Next token continues the type (e.g. `tensor<4x8x f64>`); signal
+            // the caller to keep reading. We model that by returning None.
+            return Ok(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gemm_kernel() {
+        let src = r#"
+            kernel gemm(a: tensor<32x16xf64>, b: tensor<16x8xf64>) -> tensor<32x8xf64> {
+                return a @ b;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        let k = &p.kernels[0];
+        assert_eq!(k.name, "gemm");
+        assert_eq!(k.params[0].ty.shape, vec![32, 16]);
+        assert_eq!(k.ret.shape, vec![32, 8]);
+        assert!(matches!(
+            &k.body[0],
+            Stmt::Return { expr: Expr::Binary { op: BinOp::MatMul, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_intrinsics_with_lists() {
+        let src = r#"
+            kernel f(x: tensor<4x6xf32>) -> tensor<6x4xf32> {
+                var t = transpose(x, [1, 0]);
+                var s = stencil(t, [0.25, 0.5, 0.25]);
+                return relu(s);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let k = &p.kernels[0];
+        assert_eq!(k.body.len(), 3);
+        match &k.body[0] {
+            Stmt::Var { expr: Expr::Call { name, list, .. }, .. } => {
+                assert_eq!(name, "transpose");
+                assert_eq!(list.as_deref(), Some(&[1.0, 0.0][..]));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let src = "kernel f(a: f64, b: f64, c: f64) -> f64 { return a + b * c; }";
+        let p = parse_program(src).unwrap();
+        match &p.kernels[0].body[0] {
+            Stmt::Return { expr: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_desugars_to_zero_minus() {
+        let src = "kernel f(a: f64) -> f64 { return -a; }";
+        let p = parse_program(src).unwrap();
+        match &p.kernels[0].body[0] {
+            Stmt::Return { expr: Expr::Binary { op: BinOp::Sub, lhs, .. }, .. } => {
+                assert!(matches!(**lhs, Expr::Num { value, .. } if value == 0.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_dimension() {
+        let src = "kernel f(a: tensor<0x4xf64>) -> f64 { return 1.0; }";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let src = "kernel f(a: f64) -> f64 { return a }";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn parses_multiple_kernels() {
+        let src = "kernel f(a: f64) -> f64 { return a; } kernel g(b: f64) -> f64 { return b; }";
+        assert_eq!(parse_program(src).unwrap().kernels.len(), 2);
+    }
+
+    #[test]
+    fn parses_spaced_tensor_dims() {
+        // Lexer splits `4x8xf64` as Int(4) Ident("x8xf64"): fused path.
+        let src = "kernel f(a: tensor<4x8xf64>) -> tensor<4x8xf64> { return a; }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.kernels[0].params[0].ty.shape, vec![4, 8]);
+    }
+}

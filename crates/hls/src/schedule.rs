@@ -1,0 +1,316 @@
+//! Operation scheduling: ASAP, ALAP and resource-constrained list
+//! scheduling over a [`Dfg`].
+//!
+//! Functional units are treated as fully pipelined (a unit can *start* one
+//! operation per cycle), so the resource constraint limits the number of
+//! same-kind ops issued in the same cycle — the standard model for HLS with
+//! pipelined floating-point IP.
+
+use crate::cdfg::Dfg;
+use crate::error::{HlsError, HlsResult};
+use crate::oplib::FuKind;
+use std::collections::HashMap;
+
+/// Available functional-unit instances per kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceBudget {
+    counts: HashMap<FuKind, usize>,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> ResourceBudget {
+        let mut counts = HashMap::new();
+        counts.insert(FuKind::FAdd, 2);
+        counts.insert(FuKind::FMul, 2);
+        counts.insert(FuKind::FDiv, 1);
+        counts.insert(FuKind::FSqrt, 1);
+        counts.insert(FuKind::FExp, 1);
+        counts.insert(FuKind::IntAlu, 4);
+        counts.insert(FuKind::IntMul, 2);
+        counts.insert(FuKind::MemRead, 2);
+        counts.insert(FuKind::MemWrite, 1);
+        ResourceBudget { counts }
+    }
+}
+
+impl ResourceBudget {
+    /// A budget with `n` instances of every kind (useful for ablations).
+    pub fn uniform(n: usize) -> ResourceBudget {
+        let counts = FuKind::ALL.iter().map(|k| (*k, n)).collect();
+        ResourceBudget { counts }
+    }
+
+    /// Number of instances of `kind` (0 if absent).
+    pub fn count(&self, kind: FuKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Sets the instance count for `kind`, returning `self` for chaining.
+    pub fn with(mut self, kind: FuKind, n: usize) -> ResourceBudget {
+        self.counts.insert(kind, n);
+        self
+    }
+}
+
+/// A computed schedule: a start cycle per node and the overall makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start cycle of each node (indexed by `NodeId`).
+    pub start: Vec<u64>,
+    /// Total schedule length in cycles (max finish time).
+    pub len: u64,
+}
+
+impl Schedule {
+    /// Finish cycle of node `id`.
+    pub fn finish(&self, dfg: &Dfg, id: usize) -> u64 {
+        self.start[id] + dfg.nodes[id].latency
+    }
+}
+
+/// As-soon-as-possible schedule (ignores resources).
+pub fn asap(dfg: &Dfg) -> Schedule {
+    let mut start = vec![0u64; dfg.len()];
+    let mut len = 0;
+    for (id, node) in dfg.nodes.iter().enumerate() {
+        let s = node
+            .preds
+            .iter()
+            .map(|p| start[*p] + dfg.nodes[*p].latency)
+            .max()
+            .unwrap_or(0);
+        start[id] = s;
+        len = len.max(s + node.latency);
+    }
+    Schedule { start, len }
+}
+
+/// As-late-as-possible schedule against `deadline` (ignores resources).
+///
+/// # Panics
+///
+/// Panics if `deadline` is shorter than the critical path.
+pub fn alap(dfg: &Dfg, deadline: u64) -> Schedule {
+    assert!(deadline >= dfg.critical_path(), "deadline below critical path");
+    let mut start = vec![0u64; dfg.len()];
+    for (id, node) in dfg.nodes.iter().enumerate().rev() {
+        let latest_finish = node
+            .succs
+            .iter()
+            .map(|s| start[*s])
+            .min()
+            .unwrap_or(deadline);
+        start[id] = latest_finish - node.latency;
+    }
+    Schedule { start, len: deadline }
+}
+
+/// Resource-constrained list scheduling with ALAP-slack priority.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Schedule`] if some op needs a unit kind whose budget
+/// is zero.
+pub fn list_schedule(dfg: &Dfg, budget: &ResourceBudget) -> HlsResult<Schedule> {
+    for node in &dfg.nodes {
+        if let Some(fu) = node.fu {
+            if budget.count(fu) == 0 {
+                return Err(HlsError::Schedule(format!(
+                    "op '{}' needs a {fu} unit but the budget has none",
+                    node.name
+                )));
+            }
+        }
+    }
+    if dfg.is_empty() {
+        return Ok(Schedule { start: Vec::new(), len: 0 });
+    }
+    let cp = dfg.critical_path();
+    let late = alap(dfg, cp);
+
+    let n = dfg.len();
+    let mut start = vec![u64::MAX; n];
+    let mut remaining_preds: Vec<usize> = dfg.nodes.iter().map(|nd| nd.preds.len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|i| remaining_preds[*i] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut cycle: u64 = 0;
+    // finish_events[c] = nodes finishing at cycle c (releases successors).
+    let mut finish_at: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut len = 0u64;
+
+    while scheduled < n {
+        // Release successors of nodes that finished by `cycle`.
+        if let Some(done) = finish_at.remove(&cycle) {
+            for d in done {
+                for s in &dfg.nodes[d].succs {
+                    remaining_preds[*s] -= 1;
+                    if remaining_preds[*s] == 0 {
+                        ready.push(*s);
+                    }
+                }
+            }
+        }
+        let mut issued_this_cycle: HashMap<FuKind, usize> = HashMap::new();
+        // Iterate within the cycle so zero-latency ops (constants) release
+        // their consumers immediately instead of costing a cycle.
+        loop {
+            // Priority: smaller ALAP start first (less slack = more urgent).
+            ready.sort_by_key(|i| (late.start[*i], *i));
+            let mut still_ready = Vec::new();
+            let mut released_zero_latency = false;
+            for i in ready.drain(..) {
+                let can_issue = match dfg.nodes[i].fu {
+                    None => true,
+                    Some(fu) => {
+                        let used = issued_this_cycle.get(&fu).copied().unwrap_or(0);
+                        used < budget.count(fu)
+                    }
+                };
+                if can_issue {
+                    if let Some(fu) = dfg.nodes[i].fu {
+                        *issued_this_cycle.entry(fu).or_insert(0) += 1;
+                    }
+                    start[i] = cycle;
+                    let fin = cycle + dfg.nodes[i].latency;
+                    len = len.max(fin);
+                    if dfg.nodes[i].latency == 0 {
+                        for s in &dfg.nodes[i].succs {
+                            remaining_preds[*s] -= 1;
+                            if remaining_preds[*s] == 0 {
+                                still_ready.push(*s);
+                                released_zero_latency = true;
+                            }
+                        }
+                    } else {
+                        finish_at.entry(fin).or_default().push(i);
+                    }
+                    scheduled += 1;
+                } else {
+                    still_ready.push(i);
+                }
+            }
+            ready = still_ready;
+            if !released_zero_latency {
+                break;
+            }
+        }
+        cycle += 1;
+    }
+    Ok(Schedule { start, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ir::{FuncBuilder, Type};
+    use std::collections::HashMap as Map;
+
+    /// Builds a DFG with `k` independent multiplies feeding a reduction add.
+    fn parallel_muls(k: usize) -> Dfg {
+        let mut fb = FuncBuilder::new("f", &[Type::F64, Type::F64], &[Type::F64]);
+        let mut prods = Vec::new();
+        for _ in 0..k {
+            prods.push(fb.binary("arith.mulf", fb.arg(0), fb.arg(1), Type::F64));
+        }
+        let mut acc = prods[0];
+        for p in &prods[1..] {
+            acc = fb.binary("arith.addf", acc, *p, Type::F64);
+        }
+        fb.ret(&[acc]);
+        let f = fb.finish();
+        Dfg::from_block(&f, f.body.entry().unwrap(), &Map::new())
+    }
+
+    #[test]
+    fn asap_matches_critical_path() {
+        let dfg = parallel_muls(4);
+        let s = asap(&dfg);
+        assert_eq!(s.len, dfg.critical_path());
+        // All four muls start at 0 when unconstrained.
+        for i in 0..4 {
+            assert_eq!(s.start[i], 0);
+        }
+    }
+
+    #[test]
+    fn alap_pushes_ops_late() {
+        let dfg = parallel_muls(2);
+        let cp = dfg.critical_path();
+        let late = alap(&dfg, cp + 10);
+        let early = asap(&dfg);
+        for i in 0..dfg.len() {
+            assert!(late.start[i] >= early.start[i]);
+        }
+        assert_eq!(late.len, cp + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline below critical path")]
+    fn alap_rejects_tight_deadline() {
+        let dfg = parallel_muls(2);
+        alap(&dfg, 1);
+    }
+
+    #[test]
+    fn list_schedule_respects_dependences() {
+        let dfg = parallel_muls(4);
+        let s = list_schedule(&dfg, &ResourceBudget::default()).unwrap();
+        for (id, node) in dfg.nodes.iter().enumerate() {
+            for p in &node.preds {
+                assert!(
+                    s.start[id] >= s.start[*p] + dfg.nodes[*p].latency,
+                    "node {id} starts before pred {p} finishes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn list_schedule_respects_resource_limits() {
+        let dfg = parallel_muls(6);
+        let budget = ResourceBudget::default().with(FuKind::FMul, 1);
+        let s = list_schedule(&dfg, &budget).unwrap();
+        // At most one mul issued per cycle.
+        let mut per_cycle: HashMap<u64, usize> = HashMap::new();
+        for (id, node) in dfg.nodes.iter().enumerate() {
+            if node.fu == Some(FuKind::FMul) {
+                *per_cycle.entry(s.start[id]).or_insert(0) += 1;
+            }
+        }
+        assert!(per_cycle.values().all(|c| *c <= 1));
+        // With 6 muls on one unit, the last mul cannot start before cycle 5.
+        let latest_mul = dfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.fu == Some(FuKind::FMul))
+            .map(|(i, _)| s.start[i])
+            .max()
+            .unwrap();
+        assert!(latest_mul >= 5);
+    }
+
+    #[test]
+    fn more_units_never_hurt() {
+        let dfg = parallel_muls(8);
+        let tight = list_schedule(&dfg, &ResourceBudget::uniform(1)).unwrap();
+        let wide = list_schedule(&dfg, &ResourceBudget::uniform(8)).unwrap();
+        assert!(wide.len <= tight.len);
+        assert_eq!(wide.len, dfg.critical_path());
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let dfg = parallel_muls(2);
+        let err = list_schedule(&dfg, &ResourceBudget::default().with(FuKind::FMul, 0))
+            .unwrap_err();
+        assert!(err.to_string().contains("fmul"));
+    }
+
+    #[test]
+    fn empty_dfg_schedules_to_zero() {
+        let dfg = Dfg::default();
+        let s = list_schedule(&dfg, &ResourceBudget::default()).unwrap();
+        assert_eq!(s.len, 0);
+    }
+}

@@ -1,0 +1,683 @@
+//! Lowering of `tensor`-dialect kernels into explicit memref loop nests —
+//! the representation the HLS scheduler actually synthesizes.
+//!
+//! Conventions of the lowered form:
+//!
+//! * every tensor parameter becomes an on-chip `memref<..., scratch>`
+//!   parameter;
+//! * the returned tensor becomes a trailing **output memref parameter**
+//!   (out-argument style, as HLS kernels are typically interfaced);
+//! * intermediate tensors become `mem.alloc`ed scratch buffers;
+//! * `tensor.stencil` applies a 1-D convolution along the **last**
+//!   dimension; border elements (within the stencil radius) are copied
+//!   through unchanged.
+
+use crate::error::{HlsError, HlsResult};
+use everest_ir::attr::Attr;
+use everest_ir::types::MemSpace;
+use everest_ir::{Func, FuncBuilder, Op, Type, Value};
+use std::collections::HashMap;
+
+/// Lowers a straight-line tensor-dialect function into a loop-nest function
+/// over memrefs, named `<name>_loops`.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Unsupported`] for ops outside the supported tensor
+/// subset and [`HlsError::Lower`] for structural problems.
+pub fn lower_to_loops(func: &Func) -> HlsResult<Func> {
+    let entry = func
+        .body
+        .entry()
+        .ok_or_else(|| HlsError::Lower("function has no entry block".into()))?;
+
+    // The value returned by the kernel (written into the out-parameter).
+    let ret_op = entry
+        .terminator()
+        .filter(|t| t.name == "func.return")
+        .ok_or_else(|| HlsError::Lower("kernel must end in func.return".into()))?;
+    if ret_op.operands.len() != 1 {
+        return Err(HlsError::Unsupported("kernels must return exactly one value".into()));
+    }
+    let ret_val = ret_op.operands[0];
+    let ret_ty = func.value_type(ret_val).clone();
+    let Type::Tensor { elem: ret_elem, shape: ret_shape } = &ret_ty else {
+        return Err(HlsError::Unsupported(format!("non-tensor return type {ret_ty}")));
+    };
+
+    // Build the new signature: tensor params -> scratch memrefs, plus the
+    // trailing output buffer.
+    let mut params = Vec::new();
+    for p in &func.params {
+        params.push(match p {
+            Type::Tensor { elem, shape } => {
+                Type::memref((**elem).clone(), shape, MemSpace::Scratchpad)
+            }
+            scalar if scalar.is_scalar() => scalar.clone(),
+            other => {
+                return Err(HlsError::Unsupported(format!("parameter type {other}")));
+            }
+        });
+    }
+    params.push(Type::memref((**ret_elem).clone(), ret_shape, MemSpace::Scratchpad));
+    let mut fb = FuncBuilder::new(format!("{}_loops", func.name), &params, &[]);
+    fb.set_func_attr("hls.lowered_from", func.name.as_str());
+    let out_buf = fb.arg(params.len() - 1);
+
+    // Map original SSA values to lowered values (scalars) or buffers.
+    let mut env: HashMap<Value, Value> = HashMap::new();
+    for (i, _) in func.params.iter().enumerate() {
+        env.insert(func.arg(i), fb.arg(i));
+    }
+
+    for op in &entry.ops {
+        match op.name.as_str() {
+            "func.return" => {
+                // If the returned value's buffer is not the out-param (e.g.
+                // identity kernels returning an input), copy it over.
+                let src = env[&ret_val];
+                if src != out_buf {
+                    emit_copy(&mut fb, src, out_buf, ret_shape, ret_elem);
+                }
+            }
+            "arith.constant" => {
+                let ty = func.value_type(op.results[0]).clone();
+                let attr = op.attr("value").cloned().unwrap_or(Attr::Float(0.0));
+                let v = match attr {
+                    Attr::Float(x) => fb.const_f(x, ty),
+                    Attr::Int(x) => fb.const_i(x, ty),
+                    other => {
+                        return Err(HlsError::Unsupported(format!("constant payload {other}")))
+                    }
+                };
+                env.insert(op.results[0], v);
+            }
+            name if name.starts_with("arith.") => {
+                // Scalar arithmetic between lowered scalars.
+                let ty = func.value_type(op.results[0]).clone();
+                let mut new_op = Op::new(name);
+                new_op.operands = op.operands.iter().map(|v| env[v]).collect();
+                new_op.attrs = op.attrs.clone();
+                let r = fb.op1(new_op, ty);
+                env.insert(op.results[0], r);
+            }
+            name if name.starts_with("tensor.") => {
+                let dest = dest_buffer(&mut fb, func, op, ret_val, out_buf)?;
+                lower_tensor_op(&mut fb, func, op, &env, dest)?;
+                env.insert(op.results[0], dest);
+            }
+            other => {
+                return Err(HlsError::Unsupported(format!("op '{other}' in tensor kernel")));
+            }
+        }
+    }
+    fb.ret(&[]);
+    Ok(fb.finish())
+}
+
+/// Picks (or allocates) the buffer an op writes into: the out-parameter when
+/// the op produces the returned value, a fresh scratch buffer otherwise.
+fn dest_buffer(
+    fb: &mut FuncBuilder,
+    func: &Func,
+    op: &Op,
+    ret_val: Value,
+    out_buf: Value,
+) -> HlsResult<Value> {
+    if op.results[0] == ret_val {
+        return Ok(out_buf);
+    }
+    let ty = func.value_type(op.results[0]);
+    let Type::Tensor { elem, shape } = ty else {
+        return Err(HlsError::Unsupported(format!("tensor op with non-tensor result {ty}")));
+    };
+    let buf_ty = Type::memref((**elem).clone(), shape, MemSpace::Scratchpad);
+    Ok(fb.op1(Op::new("mem.alloc"), buf_ty))
+}
+
+fn shape_of(func: &Func, v: Value) -> Vec<usize> {
+    func.value_type(v).shape().map(<[usize]>::to_vec).unwrap_or_default()
+}
+
+fn elem_of(func: &Func, v: Value) -> Type {
+    func.value_type(v).elem().cloned().unwrap_or(Type::F64)
+}
+
+/// Emits nested loops over `shape`, calling `body` with the index values.
+fn nest(
+    fb: &mut FuncBuilder,
+    shape: &[usize],
+    idx: &mut Vec<Value>,
+    body: &mut dyn FnMut(&mut FuncBuilder, &[Value]),
+) {
+    if shape.is_empty() {
+        body(fb, idx);
+        return;
+    }
+    let (dim, rest) = (shape[0], &shape[1..]);
+    fb.for_loop(0, dim as i64, 1, &[], |fb, iv, _| {
+        idx.push(iv);
+        nest(fb, rest, idx, body);
+        idx.pop();
+        vec![]
+    });
+}
+
+fn emit_copy(fb: &mut FuncBuilder, src: Value, dst: Value, shape: &[usize], elem: &Type) {
+    let elem = elem.clone();
+    nest(fb, shape, &mut Vec::new(), &mut |fb, idx| {
+        let v = fb.load(src, idx, elem.clone());
+        fb.store(v, dst, idx);
+    });
+}
+
+fn lower_tensor_op(
+    fb: &mut FuncBuilder,
+    func: &Func,
+    op: &Op,
+    env: &HashMap<Value, Value>,
+    dest: Value,
+) -> HlsResult<()> {
+    let elem = elem_of(func, op.results[0]);
+    let float_suffix = |base: &str| -> String { format!("arith.{base}") };
+    match op.name.as_str() {
+        "tensor.matmul" => {
+            let (a, b) = (env[&op.operands[0]], env[&op.operands[1]]);
+            let a_shape = shape_of(func, op.operands[0]);
+            let b_shape = shape_of(func, op.operands[1]);
+            let (m, k, n) = (a_shape[0], a_shape[1], b_shape[1]);
+            let elem2 = elem.clone();
+            fb.for_loop(0, m as i64, 1, &[], |fb, i, _| {
+                let elem3 = elem2.clone();
+                fb.for_loop(0, n as i64, 1, &[], |fb, j, _| {
+                    let zero = fb.const_f(0.0, elem3.clone());
+                    let elem4 = elem3.clone();
+                    let sum = fb.for_loop(0, k as i64, 1, &[zero], |fb, kk, carried| {
+                        let av = fb.load(a, &[i, kk], elem4.clone());
+                        let bv = fb.load(b, &[kk, j], elem4.clone());
+                        let prod = fb.binary("arith.mulf", av, bv, elem4.clone());
+                        vec![fb.binary("arith.addf", carried[0], prod, elem4.clone())]
+                    })[0];
+                    fb.store(sum, dest, &[i, j]);
+                    vec![]
+                });
+                vec![]
+            });
+            Ok(())
+        }
+        "tensor.add" | "tensor.sub" | "tensor.mul" => {
+            let base = match op.name.as_str() {
+                "tensor.add" => "addf",
+                "tensor.sub" => "subf",
+                _ => "mulf",
+            };
+            let (a, b) = (env[&op.operands[0]], env[&op.operands[1]]);
+            let shape = shape_of(func, op.operands[0]);
+            let name = float_suffix(base);
+            let elem2 = elem.clone();
+            nest(fb, &shape, &mut Vec::new(), &mut |fb, idx| {
+                let av = fb.load(a, idx, elem2.clone());
+                let bv = fb.load(b, idx, elem2.clone());
+                let r = fb.binary(&name, av, bv, elem2.clone());
+                fb.store(r, dest, idx);
+            });
+            Ok(())
+        }
+        "tensor.scale" => {
+            let (s, t) = (env[&op.operands[0]], env[&op.operands[1]]);
+            let shape = shape_of(func, op.operands[1]);
+            let elem2 = elem.clone();
+            nest(fb, &shape, &mut Vec::new(), &mut |fb, idx| {
+                let tv = fb.load(t, idx, elem2.clone());
+                let r = fb.binary("arith.mulf", s, tv, elem2.clone());
+                fb.store(r, dest, idx);
+            });
+            Ok(())
+        }
+        "tensor.transpose" => {
+            let a = env[&op.operands[0]];
+            let perm: Vec<usize> = op
+                .attr("perm")
+                .and_then(Attr::to_ints)
+                .ok_or_else(|| HlsError::Lower("transpose without perm".into()))?
+                .iter()
+                .map(|p| *p as usize)
+                .collect();
+            let out_shape = shape_of(func, op.results[0]);
+            let elem2 = elem.clone();
+            // out[idx] = in[perm applied inversely]: out dim d comes from in
+            // dim perm[d], so in index at position perm[d] is idx[d].
+            nest(fb, &out_shape, &mut Vec::new(), &mut |fb, idx| {
+                let mut in_idx = vec![idx[0]; perm.len()];
+                for (d, p) in perm.iter().enumerate() {
+                    in_idx[*p] = idx[d];
+                }
+                let v = fb.load(a, &in_idx, elem2.clone());
+                fb.store(v, dest, idx);
+            });
+            Ok(())
+        }
+        "tensor.reduce" => {
+            let a = env[&op.operands[0]];
+            let dims: Vec<usize> = op
+                .attr("dims")
+                .and_then(Attr::to_ints)
+                .ok_or_else(|| HlsError::Lower("reduce without dims".into()))?
+                .iter()
+                .map(|d| *d as usize)
+                .collect();
+            let kind = op
+                .attr("kind")
+                .and_then(Attr::as_str)
+                .ok_or_else(|| HlsError::Lower("reduce without kind".into()))?
+                .to_owned();
+            let in_shape = shape_of(func, op.operands[0]);
+            let kept: Vec<usize> = (0..in_shape.len()).filter(|d| !dims.contains(d)).collect();
+            let kept_shape: Vec<usize> = kept.iter().map(|d| in_shape[*d]).collect();
+            let red_shape: Vec<usize> = dims.iter().map(|d| in_shape[*d]).collect();
+            let count: usize = red_shape.iter().product();
+            let init = match kind.as_str() {
+                "sum" | "mean" => 0.0,
+                "max" => -1.0e308,
+                "min" => 1.0e308,
+                other => return Err(HlsError::Lower(format!("unknown reduce kind '{other}'"))),
+            };
+            let combine = match kind.as_str() {
+                "sum" | "mean" => "arith.addf",
+                "max" => "arith.maxf",
+                _ => "arith.minf",
+            };
+            let elem2 = elem.clone();
+            let dims2 = dims.clone();
+            let kept2 = kept.clone();
+            nest(fb, &kept_shape, &mut Vec::new(), &mut |fb, kept_idx| {
+                let init_v = fb.const_f(init, elem2.clone());
+                let acc = reduce_nest(
+                    fb,
+                    a,
+                    &red_shape,
+                    &dims2,
+                    &kept2,
+                    kept_idx,
+                    &mut Vec::new(),
+                    init_v,
+                    combine,
+                    &elem2,
+                    in_shape.len(),
+                );
+                let result = if kind == "mean" {
+                    let n = fb.const_f(count as f64, elem2.clone());
+                    fb.binary("arith.divf", acc, n, elem2.clone())
+                } else {
+                    acc
+                };
+                fb.store(result, dest, kept_idx);
+            });
+            Ok(())
+        }
+        "tensor.stencil" => {
+            let a = env[&op.operands[0]];
+            let weights: Vec<f64> = op
+                .attr("weights")
+                .and_then(Attr::as_array)
+                .ok_or_else(|| HlsError::Lower("stencil without weights".into()))?
+                .iter()
+                .filter_map(Attr::as_float)
+                .collect();
+            let shape = shape_of(func, op.operands[0]);
+            let radius = weights.len() / 2;
+            let last = *shape.last().ok_or_else(|| HlsError::Lower("stencil on scalar".into()))?;
+            if last < weights.len() {
+                return Err(HlsError::Lower(format!(
+                    "stencil width {} exceeds last dimension {last}",
+                    weights.len()
+                )));
+            }
+            let outer = &shape[..shape.len() - 1];
+            let elem2 = elem.clone();
+            let weights2 = weights.clone();
+            nest(fb, outer, &mut Vec::new(), &mut |fb, outer_idx| {
+                // Interior: out[.., i] = sum_k w[k] * in[.., i + k - r]
+                fb.for_loop(radius as i64, (last - radius) as i64, 1, &[], |fb, i, _| {
+                    let mut acc = fb.const_f(0.0, elem2.clone());
+                    for (k, w) in weights2.iter().enumerate() {
+                        let off = fb.const_i(k as i64 - radius as i64, Type::Index);
+                        let pos = fb.binary("arith.addi", i, off, Type::Index);
+                        let mut idx = outer_idx.to_vec();
+                        idx.push(pos);
+                        let v = fb.load(a, &idx, elem2.clone());
+                        let wv = fb.const_f(*w, elem2.clone());
+                        let prod = fb.binary("arith.mulf", v, wv, elem2.clone());
+                        acc = fb.binary("arith.addf", acc, prod, elem2.clone());
+                    }
+                    let mut idx = outer_idx.to_vec();
+                    idx.push(i);
+                    fb.store(acc, dest, &idx);
+                    vec![]
+                });
+                // Borders copied through.
+                for range in [(0i64, radius as i64), ((last - radius) as i64, last as i64)] {
+                    fb.for_loop(range.0, range.1, 1, &[], |fb, i, _| {
+                        let mut idx = outer_idx.to_vec();
+                        idx.push(i);
+                        let v = fb.load(a, &idx, elem2.clone());
+                        fb.store(v, dest, &idx);
+                        vec![]
+                    });
+                }
+            });
+            Ok(())
+        }
+        "tensor.conv2d" => {
+            let (x, k) = (env[&op.operands[0]], env[&op.operands[1]]);
+            let in_shape = shape_of(func, op.operands[0]);
+            let k_shape = shape_of(func, op.operands[1]);
+            let (h, w) = (in_shape[0], in_shape[1]);
+            let (kh, kw) = (k_shape[0], k_shape[1]);
+            if kh > h || kw > w {
+                return Err(HlsError::Lower("conv2d kernel larger than input".into()));
+            }
+            let (ry, rx) = (kh / 2, kw / 2);
+            let elem2 = elem.clone();
+            // Interior: out[i,j] = sum_{ky,kx} in[i+ky-ry, j+kx-rx] * k[ky,kx]
+            fb.for_loop(ry as i64, (h - ry) as i64, 1, &[], |fb, i, _| {
+                let elem3 = elem2.clone();
+                fb.for_loop(rx as i64, (w - rx) as i64, 1, &[], |fb, j, _| {
+                    let zero = fb.const_f(0.0, elem3.clone());
+                    let elem4 = elem3.clone();
+                    let acc = fb.for_loop(0, kh as i64, 1, &[zero], |fb, ky, c| {
+                        let elem5 = elem4.clone();
+                        let row = fb.for_loop(0, kw as i64, 1, &[c[0]], |fb, kx, cc| {
+                            let oy = fb.const_i(-(ry as i64), Type::Index);
+                            let ox = fb.const_i(-(rx as i64), Type::Index);
+                            let dy = fb.binary("arith.addi", ky, oy, Type::Index);
+                            let dx = fb.binary("arith.addi", kx, ox, Type::Index);
+                            let iy = fb.binary("arith.addi", i, dy, Type::Index);
+                            let ix = fb.binary("arith.addi", j, dx, Type::Index);
+                            let v = fb.load(x, &[iy, ix], elem5.clone());
+                            let wv = fb.load(k, &[ky, kx], elem5.clone());
+                            let prod = fb.binary("arith.mulf", v, wv, elem5.clone());
+                            vec![fb.binary("arith.addf", cc[0], prod, elem5.clone())]
+                        })[0];
+                        vec![row]
+                    })[0];
+                    fb.store(acc, dest, &[i, j]);
+                    vec![]
+                });
+                vec![]
+            });
+            // Borders copied through (top/bottom rows, then left/right
+            // columns of the interior rows).
+            let elem_b = elem.clone();
+            let copy_rows = |fb: &mut FuncBuilder, lo: i64, hi: i64| {
+                let elem_c = elem_b.clone();
+                fb.for_loop(lo, hi, 1, &[], |fb, i, _| {
+                    let elem_d = elem_c.clone();
+                    fb.for_loop(0, w as i64, 1, &[], |fb, j, _| {
+                        let v = fb.load(x, &[i, j], elem_d.clone());
+                        fb.store(v, dest, &[i, j]);
+                        vec![]
+                    });
+                    vec![]
+                });
+            };
+            copy_rows(fb, 0, ry as i64);
+            copy_rows(fb, (h - ry) as i64, h as i64);
+            let elem_b2 = elem.clone();
+            let copy_cols = |fb: &mut FuncBuilder, lo: i64, hi: i64| {
+                let elem_c = elem_b2.clone();
+                fb.for_loop(ry as i64, (h - ry) as i64, 1, &[], |fb, i, _| {
+                    let elem_d = elem_c.clone();
+                    fb.for_loop(lo, hi, 1, &[], |fb, j, _| {
+                        let v = fb.load(x, &[i, j], elem_d.clone());
+                        fb.store(v, dest, &[i, j]);
+                        vec![]
+                    });
+                    vec![]
+                });
+            };
+            copy_cols(fb, 0, rx as i64);
+            copy_cols(fb, (w - rx) as i64, w as i64);
+            Ok(())
+        }
+        "tensor.relu" => {
+            let a = env[&op.operands[0]];
+            let shape = shape_of(func, op.operands[0]);
+            let elem2 = elem.clone();
+            nest(fb, &shape, &mut Vec::new(), &mut |fb, idx| {
+                let v = fb.load(a, idx, elem2.clone());
+                let zero = fb.const_f(0.0, elem2.clone());
+                let r = fb.binary("arith.maxf", v, zero, elem2.clone());
+                fb.store(r, dest, idx);
+            });
+            Ok(())
+        }
+        "tensor.sigmoid" => {
+            let a = env[&op.operands[0]];
+            let shape = shape_of(func, op.operands[0]);
+            let elem2 = elem.clone();
+            nest(fb, &shape, &mut Vec::new(), &mut |fb, idx| {
+                let v = fb.load(a, idx, elem2.clone());
+                let neg = fb.unary("arith.negf", v, elem2.clone());
+                let e = fb.unary("arith.expf", neg, elem2.clone());
+                let one = fb.const_f(1.0, elem2.clone());
+                let denom = fb.binary("arith.addf", one, e, elem2.clone());
+                let r = fb.binary("arith.divf", one, denom, elem2.clone());
+                fb.store(r, dest, idx);
+            });
+            Ok(())
+        }
+        "tensor.fill" => {
+            let value = op.attr("value").and_then(Attr::as_float).unwrap_or(0.0);
+            let shape = shape_of(func, op.results[0]);
+            let elem2 = elem.clone();
+            nest(fb, &shape, &mut Vec::new(), &mut |fb, idx| {
+                let v = fb.const_f(value, elem2.clone());
+                fb.store(v, dest, idx);
+            });
+            Ok(())
+        }
+        other => Err(HlsError::Unsupported(format!("tensor op '{other}'"))),
+    }
+}
+
+/// Emits the reduction loop nest over the reduced dimensions, carrying the
+/// accumulator through each level, and returns the final accumulator.
+#[allow(clippy::too_many_arguments)]
+fn reduce_nest(
+    fb: &mut FuncBuilder,
+    src: Value,
+    red_shape: &[usize],
+    dims: &[usize],
+    kept: &[usize],
+    kept_idx: &[Value],
+    red_idx: &mut Vec<Value>,
+    acc_in: Value,
+    combine: &str,
+    elem: &Type,
+    rank: usize,
+) -> Value {
+    if red_shape.is_empty() {
+        // Assemble the full index: kept dims from kept_idx, reduced dims
+        // from red_idx.
+        let mut idx = vec![red_idx.first().copied().unwrap_or(kept_idx[0]); rank];
+        for (pos, d) in kept.iter().enumerate() {
+            idx[*d] = kept_idx[pos];
+        }
+        for (pos, d) in dims.iter().enumerate() {
+            idx[*d] = red_idx[pos];
+        }
+        let v = fb.load(src, &idx, elem.clone());
+        return fb.binary(combine, acc_in, v, elem.clone());
+    }
+    let (dim, rest) = (red_shape[0], &red_shape[1..]);
+    let elem2 = elem.clone();
+    let combine2 = combine.to_owned();
+    let rest2 = rest.to_vec();
+    let dims2 = dims.to_vec();
+    let kept2 = kept.to_vec();
+    let kept_idx2 = kept_idx.to_vec();
+    let mut red_idx2 = std::mem::take(red_idx);
+    let out = fb.for_loop(0, dim as i64, 1, &[acc_in], |fb, iv, carried| {
+        red_idx2.push(iv);
+        let r = reduce_nest(
+            fb, src, &rest2, &dims2, &kept2, &kept_idx2, &mut red_idx2, carried[0], &combine2,
+            &elem2, rank,
+        );
+        red_idx2.pop();
+        vec![r]
+    })[0];
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ir::verify::verify_func;
+
+    fn lower(src: &str, kernel: &str) -> Func {
+        let module = everest_dsl::compile_kernels(src).unwrap();
+        let f = lower_to_loops(module.func(kernel).unwrap()).unwrap();
+        verify_func(&f).unwrap_or_else(|e| panic!("lowered func invalid: {e}\n"));
+        f
+    }
+
+    fn count_ops(f: &Func, name: &str) -> usize {
+        let mut n = 0;
+        f.walk(&mut |op| {
+            if op.name == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn matmul_lowers_to_triple_loop() {
+        let f = lower(
+            "kernel mm(a: tensor<4x6xf64>, b: tensor<6x2xf64>) -> tensor<4x2xf64> { return a @ b; }",
+            "mm",
+        );
+        assert_eq!(count_ops(&f, "loop.for"), 3);
+        assert_eq!(count_ops(&f, "mem.load"), 2);
+        assert_eq!(count_ops(&f, "mem.store"), 1);
+        assert_eq!(count_ops(&f, "arith.mulf"), 1);
+        // Result goes straight into the out-parameter: no alloc needed.
+        assert_eq!(count_ops(&f, "mem.alloc"), 0);
+        assert_eq!(f.params.len(), 3);
+    }
+
+    #[test]
+    fn intermediate_tensors_get_scratch_buffers() {
+        let f = lower(
+            "kernel f(a: tensor<8xf64>, b: tensor<8xf64>) -> tensor<8xf64> { var c = a + b; return relu(c); }",
+            "f",
+        );
+        assert_eq!(count_ops(&f, "mem.alloc"), 1);
+    }
+
+    #[test]
+    fn identity_kernel_emits_copy() {
+        let f = lower("kernel id(a: tensor<16xf64>) -> tensor<16xf64> { return a; }", "id");
+        assert_eq!(count_ops(&f, "mem.load"), 1);
+        assert_eq!(count_ops(&f, "mem.store"), 1);
+        assert_eq!(count_ops(&f, "loop.for"), 1);
+    }
+
+    #[test]
+    fn transpose_permutes_load_indices() {
+        let f = lower(
+            "kernel t(a: tensor<3x5xf64>) -> tensor<5x3xf64> { return transpose(a, [1, 0]); }",
+            "t",
+        );
+        assert_eq!(count_ops(&f, "loop.for"), 2);
+        assert_eq!(count_ops(&f, "mem.load"), 1);
+    }
+
+    #[test]
+    fn reduce_sum_carries_accumulator() {
+        let f = lower(
+            "kernel r(a: tensor<4x8xf64>) -> tensor<4xf64> { return reduce_sum(a, [1]); }",
+            "r",
+        );
+        assert_eq!(count_ops(&f, "loop.for"), 2);
+        assert_eq!(count_ops(&f, "arith.addf"), 1);
+    }
+
+    #[test]
+    fn reduce_mean_divides_by_count() {
+        let f = lower(
+            "kernel r(a: tensor<4x8xf64>) -> tensor<4xf64> { return reduce_mean(a, [1]); }",
+            "r",
+        );
+        assert_eq!(count_ops(&f, "arith.divf"), 1);
+    }
+
+    #[test]
+    fn stencil_emits_weighted_neighbours_and_borders() {
+        let f = lower(
+            "kernel s(a: tensor<32xf64>) -> tensor<32xf64> { return stencil(a, [0.25, 0.5, 0.25]); }",
+            "s",
+        );
+        // 3 weighted loads in the interior loop + 1 border-copy load per
+        // border loop.
+        assert_eq!(count_ops(&f, "mem.load"), 5);
+        assert_eq!(count_ops(&f, "loop.for"), 3);
+        assert_eq!(count_ops(&f, "arith.mulf"), 3);
+    }
+
+    #[test]
+    fn sigmoid_lowers_to_exp_chain() {
+        let f = lower(
+            "kernel g(a: tensor<8xf64>) -> tensor<8xf64> { return sigmoid(a); }",
+            "g",
+        );
+        assert_eq!(count_ops(&f, "arith.expf"), 1);
+        assert_eq!(count_ops(&f, "arith.divf"), 1);
+    }
+
+    #[test]
+    fn scalar_params_stay_scalar() {
+        let f = lower(
+            "kernel sc(a: tensor<8xf64>, k: f64) -> tensor<8xf64> { return k * a; }",
+            "sc",
+        );
+        assert_eq!(f.params[1], Type::F64);
+        assert_eq!(count_ops(&f, "arith.mulf"), 1);
+    }
+
+    #[test]
+    fn conv2d_lowers_to_six_level_nest_plus_borders() {
+        let f = lower(
+            "kernel c(x: tensor<16x16xf64>, k: tensor<3x3xf64>) -> tensor<16x16xf64> { return conv2d(x, k); }",
+            "c",
+        );
+        // Interior: 4 loops (i, j, ky, kx); borders: 4 copy nests of 2 each.
+        assert_eq!(count_ops(&f, "loop.for"), 4 + 8);
+        assert_eq!(count_ops(&f, "arith.mulf"), 1);
+        // Loads: input + kernel in the interior, plus 4 border copies.
+        assert_eq!(count_ops(&f, "mem.load"), 2 + 4);
+    }
+
+    #[test]
+    fn conv2d_synthesizes() {
+        let module = everest_dsl::compile_kernels(
+            "kernel c(x: tensor<16x16xf64>, k: tensor<3x3xf64>) -> tensor<16x16xf64> { return conv2d(x, k); }",
+        )
+        .unwrap();
+        let acc = crate::accel::synthesize(module.func("c").unwrap(), &crate::accel::HlsConfig::default())
+            .unwrap();
+        assert!(acc.latency_cycles > 0);
+        assert!(acc.area.luts > 0);
+    }
+
+    #[test]
+    fn stencil_wider_than_dim_rejected() {
+        let module = everest_dsl::compile_kernels(
+            "kernel s(a: tensor<2xf64>) -> tensor<2xf64> { return stencil(a, [0.2, 0.2, 0.2, 0.2, 0.2]); }",
+        )
+        .unwrap();
+        let err = lower_to_loops(module.func("s").unwrap()).unwrap_err();
+        assert!(matches!(err, HlsError::Lower(_)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the HLS engine: scheduling invariants over random
+//! DFGs and partitioning invariants over random configurations.
+
+use everest_hls::binding::bind;
+use everest_hls::cdfg::Dfg;
+use everest_hls::memory::{Partitioning, Scheme};
+use everest_hls::schedule::{asap, list_schedule, ResourceBudget};
+use everest_hls::FuKind;
+use everest_ir::{FuncBuilder, Type, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a random straight-line float function: constants plus a chain of
+/// binary ops over randomly chosen available values.
+fn random_dfg(consts: usize, picks: &[(u8, usize, usize)]) -> Dfg {
+    let mut fb = FuncBuilder::new("f", &[Type::F64, Type::F64], &[Type::F64]);
+    let mut avail: Vec<Value> = vec![fb.arg(0), fb.arg(1)];
+    for i in 0..consts {
+        avail.push(fb.const_f(i as f64 + 0.5, Type::F64));
+    }
+    for (kind, i, j) in picks {
+        let a = avail[i % avail.len()];
+        let b = avail[j % avail.len()];
+        let name = match kind % 5 {
+            0 => "arith.addf",
+            1 => "arith.subf",
+            2 => "arith.mulf",
+            3 => "arith.divf",
+            _ => "arith.maxf",
+        };
+        let v = fb.binary(name, a, b, Type::F64);
+        avail.push(v);
+    }
+    let last = *avail.last().unwrap();
+    fb.ret(&[last]);
+    let f = fb.finish();
+    Dfg::from_block(&f, f.body.entry().unwrap(), &HashMap::new())
+}
+
+proptest! {
+    #[test]
+    fn list_schedule_respects_dependences_and_budget(
+        consts in 1usize..4,
+        picks in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..40),
+        budget_n in 1usize..4,
+    ) {
+        let dfg = random_dfg(consts, &picks);
+        let budget = ResourceBudget::uniform(budget_n);
+        let schedule = list_schedule(&dfg, &budget).expect("schedules");
+
+        // 1. Dependences: no node starts before its predecessors finish.
+        for (id, node) in dfg.nodes.iter().enumerate() {
+            for p in &node.preds {
+                prop_assert!(
+                    schedule.start[id] >= schedule.start[*p] + dfg.nodes[*p].latency,
+                    "node {id} violates dep on {p}"
+                );
+            }
+        }
+        // 2. Resources: per cycle, per kind, at most `budget_n` issues.
+        let mut per_cycle: HashMap<(FuKind, u64), usize> = HashMap::new();
+        for (id, node) in dfg.nodes.iter().enumerate() {
+            if let Some(fu) = node.fu {
+                *per_cycle.entry((fu, schedule.start[id])).or_insert(0) += 1;
+            }
+        }
+        for ((kind, cycle), count) in per_cycle {
+            prop_assert!(count <= budget_n, "{count} {kind} issues at cycle {cycle}");
+        }
+        // 3. The unconstrained ASAP schedule is a lower bound.
+        prop_assert!(schedule.len >= asap(&dfg).len.min(dfg.critical_path()));
+        prop_assert!(schedule.len >= dfg.critical_path());
+    }
+
+    #[test]
+    fn binding_never_double_books_an_instance(
+        picks in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..30),
+    ) {
+        let dfg = random_dfg(2, &picks);
+        let budget = ResourceBudget::uniform(2);
+        let schedule = list_schedule(&dfg, &budget).expect("schedules");
+        let binding = bind(&dfg, &schedule);
+        let mut seen = std::collections::HashSet::new();
+        for (id, slot) in binding.assignment.iter().enumerate() {
+            if let Some((kind, instance)) = slot {
+                prop_assert!(*instance < binding.allocation[kind]);
+                prop_assert!(
+                    seen.insert((schedule.start[id], *kind, *instance)),
+                    "instance double-booked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_budget_never_lengthens_the_schedule(
+        picks in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+    ) {
+        let dfg = random_dfg(2, &picks);
+        let tight = list_schedule(&dfg, &ResourceBudget::uniform(1)).expect("tight");
+        let wide = list_schedule(&dfg, &ResourceBudget::uniform(8)).expect("wide");
+        prop_assert!(wide.len <= tight.len);
+    }
+
+    #[test]
+    fn partitioning_is_a_bijection(
+        size in 1usize..2000,
+        banks in 1usize..17,
+        cyclic in any::<bool>(),
+        ports in 1usize..3,
+    ) {
+        prop_assume!(banks <= size);
+        let scheme = if cyclic { Scheme::Cyclic } else { Scheme::Block };
+        let p = Partitioning::new(size, banks, scheme, ports).expect("valid");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..size {
+            let (bank, offset) = p.map(i);
+            prop_assert!(bank < banks, "bank out of range");
+            prop_assert!(offset < p.bank_depth(), "offset beyond depth");
+            prop_assert!(seen.insert((bank, offset)), "slot reused for index {i}");
+        }
+    }
+
+    #[test]
+    fn cyclic_banks_at_least_span_make_contiguous_accesses_conflict_free(
+        radius in 1usize..5,
+        extra_banks in 0usize..8,
+    ) {
+        let span = 2 * radius + 1;
+        let banks = span + extra_banks;
+        let offsets: Vec<i64> = (-(radius as i64)..=(radius as i64)).collect();
+        let p = Partitioning::new(banks * 64, banks, Scheme::Cyclic, 1).expect("valid");
+        prop_assert_eq!(p.min_ii(&offsets), 1);
+    }
+
+    #[test]
+    fn min_ii_monotone_in_ports(
+        offsets in prop::collection::vec(-8i64..8, 1..8),
+        banks in 1usize..9,
+    ) {
+        let p1 = Partitioning::new(1024, banks, Scheme::Block, 1).expect("p1");
+        let p2 = Partitioning::new(1024, banks, Scheme::Block, 2).expect("p2");
+        prop_assert!(p2.min_ii(&offsets) <= p1.min_ii(&offsets));
+    }
+}

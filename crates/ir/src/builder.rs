@@ -1,0 +1,253 @@
+//! Ergonomic construction of IR functions.
+
+use crate::attr::Attr;
+use crate::ir::{Block, BlockId, Func, Op, Region, Value};
+use crate::types::Type;
+
+/// Builds a [`Func`] by appending operations to a cursor block.
+///
+/// The builder keeps a stack of open blocks so structured ops with nested
+/// regions (such as `loop.for`) can be built with closures:
+///
+/// ```
+/// use everest_ir::{FuncBuilder, Type};
+///
+/// let mut fb = FuncBuilder::new("sum", &[], &[Type::F64]);
+/// let zero = fb.const_f(0.0, Type::F64);
+/// let total = fb.for_loop(0, 10, 1, &[zero], |fb, _iv, carried| {
+///     let one = fb.const_f(1.0, Type::F64);
+///     vec![fb.binary("arith.addf", carried[0], one, Type::F64)]
+/// })[0];
+/// fb.ret(&[total]);
+/// let func = fb.finish();
+/// assert_eq!(func.op_count(), 6);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Func,
+    /// Stack of blocks under construction; the top receives new ops. The
+    /// bottom entry is the function entry block.
+    stack: Vec<Block>,
+    next_block: u32,
+}
+
+impl FuncBuilder {
+    /// Starts building a function with the given signature.
+    pub fn new(name: impl Into<String>, params: &[Type], results: &[Type]) -> FuncBuilder {
+        let mut func = Func::new(name, params, results);
+        let entry = func.body.blocks.pop().expect("fresh function has an entry block");
+        FuncBuilder { func, stack: vec![entry], next_block: 1 }
+    }
+
+    /// The `i`-th function argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> Value {
+        self.stack[0].args[i]
+    }
+
+    /// Sets a function-level attribute.
+    pub fn set_func_attr(&mut self, key: impl Into<String>, value: impl Into<Attr>) {
+        self.func.attrs.insert(key.into(), value.into());
+    }
+
+    /// Appends a fully-formed op whose results were already allocated.
+    pub fn push_op(&mut self, op: Op) {
+        self.stack.last_mut().expect("builder has an open block").ops.push(op);
+    }
+
+    /// Appends `op` after allocating one result value per type in
+    /// `result_types`; returns the result values.
+    pub fn op(&mut self, mut op: Op, result_types: &[Type]) -> Vec<Value> {
+        let results: Vec<Value> =
+            result_types.iter().map(|t| self.func.new_value(t.clone())).collect();
+        op.results = results.clone();
+        self.push_op(op);
+        results
+    }
+
+    /// Appends a single-result op; returns its result.
+    pub fn op1(&mut self, op: Op, result_type: Type) -> Value {
+        self.op(op, &[result_type])[0]
+    }
+
+    /// Emits an `arith.constant` with a float payload.
+    pub fn const_f(&mut self, value: f64, ty: Type) -> Value {
+        self.op1(Op::new("arith.constant").with_attr("value", value), ty)
+    }
+
+    /// Emits an `arith.constant` with an integer payload.
+    pub fn const_i(&mut self, value: i64, ty: Type) -> Value {
+        self.op1(Op::new("arith.constant").with_attr("value", value), ty)
+    }
+
+    /// Emits a two-operand, one-result op such as `arith.addf`.
+    pub fn binary(&mut self, name: &str, lhs: Value, rhs: Value, ty: Type) -> Value {
+        let mut op = Op::new(name);
+        op.operands = vec![lhs, rhs];
+        self.op1(op, ty)
+    }
+
+    /// Emits a one-operand, one-result op such as `arith.negf`.
+    pub fn unary(&mut self, name: &str, operand: Value, ty: Type) -> Value {
+        let mut op = Op::new(name);
+        op.operands = vec![operand];
+        self.op1(op, ty)
+    }
+
+    /// Emits `func.call @callee(args)`.
+    pub fn call(&mut self, callee: &str, args: &[Value], result_types: &[Type]) -> Vec<Value> {
+        let mut op = Op::new("func.call").with_attr("callee", callee);
+        op.operands = args.to_vec();
+        self.op(op, result_types)
+    }
+
+    /// Emits a `mem.load` from `buf` at `indices`.
+    pub fn load(&mut self, buf: Value, indices: &[Value], ty: Type) -> Value {
+        let mut op = Op::new("mem.load");
+        op.operands = std::iter::once(buf).chain(indices.iter().copied()).collect();
+        self.op1(op, ty)
+    }
+
+    /// Emits a `mem.store` of `value` into `buf` at `indices`.
+    pub fn store(&mut self, value: Value, buf: Value, indices: &[Value]) {
+        let mut op = Op::new("mem.store");
+        op.operands =
+            [value, buf].iter().copied().chain(indices.iter().copied()).collect();
+        self.push_op(op);
+    }
+
+    /// Emits a counted `loop.for` with loop-carried values.
+    ///
+    /// The `body` closure receives the induction variable and the carried
+    /// values for the current iteration and must return the next-iteration
+    /// values (same count as `inits`). Returns the loop results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure yields a different number of values than
+    /// `inits`.
+    pub fn for_loop(
+        &mut self,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        inits: &[Value],
+        body: impl FnOnce(&mut FuncBuilder, Value, &[Value]) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let mut block = Block::new(BlockId(self.next_block));
+        self.next_block += 1;
+        let iv = self.func.new_value(Type::Index);
+        block.args.push(iv);
+        let carried: Vec<Value> = inits
+            .iter()
+            .map(|v| {
+                let ty = self.func.value_type(*v).clone();
+                let arg = self.func.new_value(ty);
+                block.args.push(arg);
+                arg
+            })
+            .collect();
+        self.stack.push(block);
+        let yields = body(self, iv, &carried);
+        assert_eq!(yields.len(), inits.len(), "loop body must yield one value per init");
+        let mut yield_op = Op::new("loop.yield");
+        yield_op.operands = yields;
+        self.push_op(yield_op);
+        let block = self.stack.pop().expect("loop body block is open");
+
+        let mut op = Op::new("loop.for")
+            .with_attr("lo", lo)
+            .with_attr("hi", hi)
+            .with_attr("step", step);
+        op.operands = inits.to_vec();
+        op.regions = vec![Region { blocks: vec![block] }];
+        let result_types: Vec<Type> =
+            inits.iter().map(|v| self.func.value_type(*v).clone()).collect();
+        self.op(op, &result_types)
+    }
+
+    /// Emits the `func.return` terminator.
+    pub fn ret(&mut self, values: &[Value]) {
+        let mut op = Op::new("func.return");
+        op.operands = values.to_vec();
+        self.push_op(op);
+    }
+
+    /// The type previously recorded for `v`.
+    pub fn value_type(&self, v: Value) -> &Type {
+        self.func.value_type(v)
+    }
+
+    /// Finalizes and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nested blocks (e.g. an unfinished loop body) are still open.
+    pub fn finish(mut self) -> Func {
+        assert_eq!(self.stack.len(), 1, "unclosed nested region");
+        let entry = self.stack.pop().expect("entry block present");
+        self.func.body.blocks.push(entry);
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_arith_function() {
+        let mut fb = FuncBuilder::new("f", &[Type::F32, Type::F32], &[Type::F32]);
+        let s = fb.binary("arith.addf", fb.arg(0), fb.arg(1), Type::F32);
+        fb.ret(&[s]);
+        let f = fb.finish();
+        assert_eq!(f.op_count(), 2);
+        assert!(crate::verify::verify_func(&f).is_ok());
+    }
+
+    #[test]
+    fn loop_carried_values_have_matching_types() {
+        let mut fb = FuncBuilder::new("g", &[], &[Type::F64]);
+        let init = fb.const_f(1.0, Type::F64);
+        let out = fb.for_loop(0, 4, 1, &[init], |fb, _iv, c| {
+            vec![fb.binary("arith.mulf", c[0], c[0], Type::F64)]
+        });
+        assert_eq!(fb.value_type(out[0]), &Type::F64);
+        fb.ret(&out);
+        let f = fb.finish();
+        assert!(crate::verify::verify_func(&f).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per init")]
+    fn loop_yield_count_mismatch_panics() {
+        let mut fb = FuncBuilder::new("g", &[], &[]);
+        let init = fb.const_f(0.0, Type::F64);
+        fb.for_loop(0, 4, 1, &[init], |_fb, _iv, _c| vec![]);
+    }
+
+    #[test]
+    fn call_allocates_results() {
+        let mut fb = FuncBuilder::new("caller", &[], &[Type::I64]);
+        let r = fb.call("callee", &[], &[Type::I64]);
+        fb.ret(&r);
+        let f = fb.finish();
+        assert_eq!(f.num_values(), 1);
+    }
+
+    #[test]
+    fn store_emits_no_results() {
+        use crate::types::MemSpace;
+        let buf_ty = Type::memref(Type::F32, &[8], MemSpace::Scratchpad);
+        let mut fb = FuncBuilder::new("h", &[buf_ty], &[]);
+        let i = fb.const_i(0, Type::Index);
+        let v = fb.const_f(1.0, Type::F32);
+        fb.store(v, fb.arg(0), &[i]);
+        fb.ret(&[]);
+        let f = fb.finish();
+        assert_eq!(f.body.entry().unwrap().ops.len(), 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! # everest-ir — the EVEREST unified intermediate representation
+//!
+//! The EVEREST compilation flow (paper Fig. 1) unifies workflow orchestration
+//! and kernel specifications "into a single MLIR". This crate implements that
+//! unified IR from scratch: an SSA-based, multi-dialect, region-structured
+//! intermediate representation together with a builder API, a verifier, a
+//! textual printer/parser pair, and a pass framework with the classic
+//! scalar-optimization passes the middle end relies on.
+//!
+//! The design intentionally mirrors MLIR's concepts at a smaller scale:
+//!
+//! * a [`Module`] holds a list of [`Func`]s;
+//! * a [`Func`] owns a [`Region`] of [`Block`]s, each block holding a list of
+//!   [`Op`]s in program order;
+//! * every [`Op`] is a generic record — `name`, operands, results,
+//!   attributes, nested regions — whose structural constraints are supplied
+//!   by a dialect registry ([`crate::registry`]);
+//! * SSA [`Value`]s are function-scoped handles with types tracked in a side
+//!   table on the function.
+//!
+//! Dialects provided (paper Section III): `arith`/`cf` (builtin scalar
+//! compute + control), `tensor` (data-centric tensor abstraction), `df`
+//! (dataflow/workflow orchestration), `hls` (hardware-generation directives)
+//! and `secure` (data-protection annotations).
+//!
+//! ## Example
+//!
+//! ```
+//! use everest_ir::{Module, FuncBuilder, Type};
+//!
+//! let mut module = Module::new("demo");
+//! let mut fb = FuncBuilder::new("axpy", &[Type::F64, Type::F64], &[Type::F64]);
+//! let a = fb.arg(0);
+//! let x = fb.arg(1);
+//! let prod = fb.binary("arith.mulf", a, x, Type::F64);
+//! fb.ret(&[prod]);
+//! module.push(fb.finish());
+//! assert!(module.verify().is_ok());
+//! let text = module.to_text();
+//! let reparsed = everest_ir::parse_module(&text).unwrap();
+//! assert_eq!(text, reparsed.to_text());
+//! ```
+
+pub mod attr;
+pub mod builder;
+pub mod dialects;
+pub mod error;
+pub mod interp;
+pub mod ir;
+pub mod parse;
+pub mod pass;
+pub mod print;
+pub mod registry;
+pub mod transforms;
+pub mod types;
+pub mod verify;
+
+pub use attr::Attr;
+pub use builder::FuncBuilder;
+pub use error::{IrError, IrResult};
+pub use ir::{Block, BlockId, Func, Module, Op, Region, Value};
+pub use parse::parse_module;
+pub use pass::{Pass, PassManager};
+pub use types::Type;

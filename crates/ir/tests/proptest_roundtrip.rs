@@ -1,0 +1,122 @@
+//! Property tests: the canonical printer and parser are mutually inverse on
+//! arbitrary well-formed modules, and canonicalization preserves
+//! verifiability.
+
+use everest_ir::pass::PassManager;
+use everest_ir::{parse_module, Attr, FuncBuilder, Module, Op, Type, Value};
+use proptest::prelude::*;
+
+/// Strategy for scalar float/int types used in generated functions.
+fn scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![Just(Type::F32), Just(Type::F64), Just(Type::I32), Just(Type::I64)]
+}
+
+fn attr_strategy() -> impl Strategy<Value = Attr> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Attr::Int),
+        // Finite floats only: NaN breaks equality-based round-trip checks.
+        (-1.0e12f64..1.0e12).prop_map(Attr::Float),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(Attr::Str),
+        any::<bool>().prop_map(Attr::Bool),
+        scalar_type().prop_map(Attr::Type),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Attr::Array)
+    })
+}
+
+/// Builds a random straight-line function over one scalar type: a chain of
+/// binary/unary arithmetic over constants and parameters.
+fn random_func(
+    name: String,
+    ty: Type,
+    seeds: Vec<f64>,
+    picks: Vec<(u8, usize, usize)>,
+) -> everest_ir::Func {
+    let is_float = ty.is_float();
+    let params = vec![ty.clone(); 2];
+    let mut fb = FuncBuilder::new(name, &params, &[ty.clone()]);
+    let mut avail: Vec<Value> = vec![fb.arg(0), fb.arg(1)];
+    for s in seeds {
+        let v = if is_float {
+            fb.const_f(s, ty.clone())
+        } else {
+            fb.const_i(s as i64, ty.clone())
+        };
+        avail.push(v);
+    }
+    for (kind, i, j) in picks {
+        let a = avail[i % avail.len()];
+        let b = avail[j % avail.len()];
+        let op = if is_float {
+            match kind % 4 {
+                0 => "arith.addf",
+                1 => "arith.subf",
+                2 => "arith.mulf",
+                _ => "arith.maxf",
+            }
+        } else {
+            match kind % 3 {
+                0 => "arith.addi",
+                1 => "arith.subi",
+                _ => "arith.muli",
+            }
+        };
+        let v = fb.binary(op, a, b, ty.clone());
+        avail.push(v);
+    }
+    let last = *avail.last().unwrap();
+    fb.ret(&[last]);
+    fb.finish()
+}
+
+proptest! {
+    #[test]
+    fn print_parse_print_is_identity(
+        ty in scalar_type(),
+        seeds in prop::collection::vec(-100.0f64..100.0, 1..6),
+        picks in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 0..20),
+    ) {
+        let mut m = Module::new("prop");
+        m.push(random_func("f".into(), ty, seeds, picks));
+        m.verify().expect("generated module verifies");
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("canonical text parses");
+        prop_assert_eq!(parsed.to_text(), text);
+        parsed.verify().expect("reparsed module verifies");
+    }
+
+    #[test]
+    fn attrs_round_trip_through_text(attr in attr_strategy()) {
+        let mut fb = FuncBuilder::new("f", &[], &[]);
+        let op = Op::new("df.source").with_attr("kind", "k").with_attr("payload", attr.clone());
+        fb.op(op, &[Type::Token]);
+        fb.ret(&[]);
+        let mut m = Module::new("attrs");
+        m.push(fb.finish());
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("parses");
+        let f = parsed.func("f").unwrap();
+        let got = f.body.entry().unwrap().ops[0].attr("payload").unwrap();
+        prop_assert_eq!(got, &attr);
+    }
+
+    #[test]
+    fn canonicalize_preserves_verification_and_return_value(
+        seeds in prop::collection::vec(-10.0f64..10.0, 2..5),
+        picks in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..12),
+    ) {
+        let mut m = Module::new("prop");
+        m.push(random_func("f".into(), Type::F64, seeds, picks));
+        let before_ops = m.func("f").unwrap().op_count();
+        PassManager::standard().run(&mut m).expect("passes run");
+        m.verify().expect("canonical module verifies");
+        let after_ops = m.func("f").unwrap().op_count();
+        prop_assert!(after_ops <= before_ops);
+        // The terminator must still return a value of the declared type.
+        let f = m.func("f").unwrap();
+        let ret = f.body.entry().unwrap().terminator().unwrap();
+        prop_assert_eq!(&ret.name, "func.return");
+        prop_assert_eq!(f.value_type(ret.operands[0]), &Type::F64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Energy accounting: static power over the makespan plus dynamic energy
+//! per activity.
+//!
+//! EVEREST's benefit claims include "performance and energy efficiency ...
+//! hardware acceleration will reduce the time and the energy spent"
+//! (paper VI-D); this meter is what the benchmarks use to quantify that.
+
+use crate::sim::Sim;
+use std::collections::HashMap;
+
+/// Power characteristics of one resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSpec {
+    /// Power drawn while idle, watts.
+    pub idle_w: f64,
+    /// Additional power while active, watts.
+    pub active_w: f64,
+}
+
+/// An energy meter over a set of named resources.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    specs: HashMap<String, PowerSpec>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with no registered resources.
+    pub fn new() -> EnergyMeter {
+        EnergyMeter::default()
+    }
+
+    /// Registers the power spec of a resource.
+    pub fn register(&mut self, resource: &str, spec: PowerSpec) -> &mut Self {
+        self.specs.insert(resource.to_owned(), spec);
+        self
+    }
+
+    /// Total energy in millijoules for a finished simulation: every
+    /// registered resource burns idle power for the whole makespan plus
+    /// active power for its busy time.
+    pub fn total_mj(&self, sim: &Sim) -> f64 {
+        let makespan_s = sim.makespan() * 1e-6;
+        let mut joules = 0.0;
+        for (name, spec) in &self.specs {
+            let busy_s = sim.busy_us(name) * 1e-6;
+            joules += spec.idle_w * makespan_s + spec.active_w * busy_s;
+        }
+        joules * 1e3
+    }
+
+    /// Energy attributable to one resource, millijoules.
+    pub fn resource_mj(&self, sim: &Sim, resource: &str) -> f64 {
+        let Some(spec) = self.specs.get(resource) else {
+            return 0.0;
+        };
+        let makespan_s = sim.makespan() * 1e-6;
+        let busy_s = sim.busy_us(resource) * 1e-6;
+        (spec.idle_w * makespan_s + spec.active_w * busy_s) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_accrues_over_makespan() {
+        let mut sim = Sim::new();
+        sim.run("cpu", "c", 0.0, 1_000_000.0); // 1 s
+        let mut meter = EnergyMeter::new();
+        meter.register("cpu", PowerSpec { idle_w: 10.0, active_w: 90.0 });
+        meter.register("fpga", PowerSpec { idle_w: 20.0, active_w: 0.0 });
+        // cpu: 10 W * 1 s + 90 W * 1 s = 100 J; fpga idles: 20 J.
+        assert!((meter.total_mj(&sim) - 120_000.0).abs() < 1.0);
+        assert!((meter.resource_mj(&sim, "fpga") - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unregistered_resources_cost_nothing() {
+        let mut sim = Sim::new();
+        sim.run("ghost", "g", 0.0, 100.0);
+        let meter = EnergyMeter::new();
+        assert_eq!(meter.total_mj(&sim), 0.0);
+        assert_eq!(meter.resource_mj(&sim, "ghost"), 0.0);
+    }
+
+    #[test]
+    fn faster_execution_costs_less_idle_energy() {
+        let meter = {
+            let mut m = EnergyMeter::new();
+            m.register("cpu", PowerSpec { idle_w: 50.0, active_w: 50.0 });
+            m
+        };
+        let mut slow = Sim::new();
+        slow.run("cpu", "work", 0.0, 2_000_000.0);
+        let mut fast = Sim::new();
+        fast.run("cpu", "work", 0.0, 500_000.0);
+        assert!(meter.total_mj(&fast) < meter.total_mj(&slow));
+    }
+}

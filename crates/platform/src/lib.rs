@@ -1,0 +1,48 @@
+//! # everest-platform — target-system model and simulator
+//!
+//! The EVEREST target system (paper Section V, Fig. 3 and Fig. 4) combines
+//! POWER9 cloud nodes with **bus-attached, cache-coherent FPGAs**
+//! (OpenCAPI) and **network-attached, disaggregated FPGAs** (the cloudFPGA
+//! platform) plus ARM/RISC-V edge nodes and end-point devices. Since this
+//! reproduction has no physical FPGAs, this crate models that hardware:
+//!
+//! * [`node`] / [`fpga`] — nodes, CPUs and FPGA devices with fabric
+//!   capacity, clocking, attachment type and shell/role split with partial
+//!   reconfiguration (cloudFPGA);
+//! * [`link`] — interconnect models (OpenCAPI, PCIe, datacenter TCP/UDP,
+//!   edge WAN) with latency + bandwidth transfer costs;
+//! * [`system`] — assembled systems, including the reference EVEREST
+//!   demonstrator topology;
+//! * [`sim`] — a deterministic resource-timeline simulator for transfers
+//!   and kernel executions with contention;
+//! * [`energy`] — static + dynamic energy accounting;
+//! * [`ecosystem`] — the endpoint → inner-edge → cloud hierarchy of Fig. 3
+//!   with tier-placement evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use everest_platform::system::System;
+//!
+//! let sys = System::everest_reference();
+//! assert!(sys.nodes().len() >= 3);
+//! let p9 = sys.node_by_name("cloud-p9").unwrap();
+//! assert!(!p9.devices.is_empty());
+//! ```
+
+pub mod cache;
+pub mod ecosystem;
+pub mod energy;
+pub mod error;
+pub mod fpga;
+pub mod link;
+pub mod node;
+pub mod sim;
+pub mod system;
+
+pub use error::{PlatformError, PlatformResult};
+pub use fpga::{Attachment, FabricCapacity, FpgaDevice};
+pub use link::Link;
+pub use node::{CpuSpec, Node, NodeKind};
+pub use sim::Sim;
+pub use system::System;

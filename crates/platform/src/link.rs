@@ -1,0 +1,123 @@
+//! Interconnect models: latency + bandwidth links with transfer-time
+//! computation.
+//!
+//! The EVEREST demonstrator (Fig. 4) couples nodes through "OpenCAPI cache
+//! coherent and TCP/UDP protocols"; the presets here reflect those two
+//! classes plus PCIe, datacenter Ethernet and an edge WAN.
+
+/// A point-to-point interconnect with fixed latency and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way latency in microseconds.
+    pub latency_us: f64,
+    /// Usable bandwidth in gigabytes per second.
+    pub bandwidth_gbps: f64,
+    /// Per-message protocol overhead in bytes (headers, DMA descriptors).
+    pub overhead_bytes: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latency is negative or bandwidth is not positive.
+    pub fn new(latency_us: f64, bandwidth_gbps: f64, overhead_bytes: u64) -> Link {
+        assert!(latency_us >= 0.0, "negative latency");
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        Link { latency_us, bandwidth_gbps, overhead_bytes }
+    }
+
+    /// OpenCAPI cache-coherent attachment: sub-microsecond latency,
+    /// ~22 GB/s usable.
+    pub fn opencapi() -> Link {
+        Link::new(0.4, 22.0, 64)
+    }
+
+    /// PCIe Gen4 x8 DMA attachment.
+    pub fn pcie() -> Link {
+        Link::new(1.2, 12.0, 128)
+    }
+
+    /// Datacenter TCP (kernel stack): tens of microseconds, 10 GbE-class.
+    pub fn tcp_datacenter() -> Link {
+        Link::new(25.0, 1.1, 512)
+    }
+
+    /// Datacenter UDP with a lightweight offloaded stack (cloudFPGA role):
+    /// low latency, near line-rate 10 GbE.
+    pub fn udp_datacenter() -> Link {
+        Link::new(4.0, 1.2, 128)
+    }
+
+    /// Edge wide-area uplink (endpoint to inner edge).
+    pub fn edge_wan() -> Link {
+        Link::new(5_000.0, 0.012, 256)
+    }
+
+    /// Local-area link between inner-edge nodes (1 GbE).
+    pub fn lan() -> Link {
+        Link::new(80.0, 0.11, 512)
+    }
+
+    /// Time in microseconds to move `bytes` across this link.
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        let total = bytes + self.overhead_bytes;
+        self.latency_us + total as f64 / (self.bandwidth_gbps * 1e3)
+    }
+
+    /// Effective bandwidth (GB/s) achieved for a transfer of `bytes`,
+    /// including latency and overhead — small transfers are latency-bound.
+    pub fn effective_bandwidth_gbps(&self, bytes: u64) -> f64 {
+        let t = self.transfer_us(bytes);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / 1e3 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = Link::opencapi();
+        assert!(l.transfer_us(1) >= l.latency_us);
+        // 22 MB at 22 GB/s is ~1000 us plus latency.
+        let t = l.transfer_us(22_000_000);
+        assert!((t - (0.4 + 1000.0)).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn small_transfers_favor_low_latency_links() {
+        let bus = Link::opencapi();
+        let net = Link::tcp_datacenter();
+        assert!(bus.transfer_us(4_096) < net.transfer_us(4_096));
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_nominal_for_large_transfers() {
+        let l = Link::tcp_datacenter();
+        let small = l.effective_bandwidth_gbps(1_000);
+        let large = l.effective_bandwidth_gbps(1_000_000_000);
+        assert!(small < large);
+        assert!(large > 0.9 * l.bandwidth_gbps);
+        assert!(small < 0.1 * l.bandwidth_gbps);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_latency() {
+        assert!(Link::opencapi().latency_us < Link::pcie().latency_us);
+        assert!(Link::pcie().latency_us < Link::udp_datacenter().latency_us);
+        assert!(Link::udp_datacenter().latency_us < Link::tcp_datacenter().latency_us);
+        assert!(Link::tcp_datacenter().latency_us < Link::edge_wan().latency_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Link::new(1.0, 0.0, 0);
+    }
+}

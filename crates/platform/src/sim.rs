@@ -1,0 +1,164 @@
+//! A deterministic resource-timeline simulator.
+//!
+//! Resources (CPU slots, FPGA roles, links) are FIFO timelines: an activity
+//! asks for a resource at its ready time and is serialized after whatever
+//! the resource is already committed to. This captures contention without a
+//! full event queue, and is exactly reproducible.
+
+use std::collections::HashMap;
+
+/// Time in microseconds since simulation start.
+pub type TimeUs = f64;
+
+/// A named exclusive resource timeline.
+#[derive(Debug, Clone, Default)]
+struct Timeline {
+    available_at: TimeUs,
+    busy_us: f64,
+}
+
+/// The simulator: a clock plus named resource timelines and an activity log.
+#[derive(Debug, Clone, Default)]
+pub struct Sim {
+    timelines: HashMap<String, Timeline>,
+    log: Vec<Activity>,
+    horizon: TimeUs,
+}
+
+/// One recorded activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    /// Resource the activity ran on.
+    pub resource: String,
+    /// Activity label (kernel name, transfer description).
+    pub label: String,
+    /// Start time (µs).
+    pub start: TimeUs,
+    /// End time (µs).
+    pub end: TimeUs,
+}
+
+impl Sim {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Sim {
+        Sim::default()
+    }
+
+    /// Schedules an activity of `duration_us` on `resource`, not before
+    /// `ready_at`. Returns the finish time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_us` is negative.
+    pub fn run(&mut self, resource: &str, label: &str, ready_at: TimeUs, duration_us: f64) -> TimeUs {
+        assert!(duration_us >= 0.0, "negative duration");
+        let timeline = self.timelines.entry(resource.to_owned()).or_default();
+        let start = timeline.available_at.max(ready_at);
+        let end = start + duration_us;
+        timeline.available_at = end;
+        timeline.busy_us += duration_us;
+        self.horizon = self.horizon.max(end);
+        self.log.push(Activity {
+            resource: resource.to_owned(),
+            label: label.to_owned(),
+            start,
+            end,
+        });
+        end
+    }
+
+    /// The time at which `resource` becomes free (0 when never used).
+    pub fn available_at(&self, resource: &str) -> TimeUs {
+        self.timelines.get(resource).map(|t| t.available_at).unwrap_or(0.0)
+    }
+
+    /// Total busy time accumulated on `resource`.
+    pub fn busy_us(&self, resource: &str) -> f64 {
+        self.timelines.get(resource).map(|t| t.busy_us).unwrap_or(0.0)
+    }
+
+    /// Utilization of `resource` over the makespan (0..1).
+    pub fn utilization(&self, resource: &str) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.busy_us(resource) / self.horizon
+    }
+
+    /// Latest finish time across all activities (the makespan).
+    pub fn makespan(&self) -> TimeUs {
+        self.horizon
+    }
+
+    /// The recorded activity log, in scheduling order.
+    pub fn log(&self) -> &[Activity] {
+        &self.log
+    }
+
+    /// Names of every resource touched so far.
+    pub fn resources(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.timelines.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activities_on_one_resource_serialize() {
+        let mut sim = Sim::new();
+        let f1 = sim.run("fpga0", "k1", 0.0, 100.0);
+        let f2 = sim.run("fpga0", "k2", 0.0, 50.0);
+        assert_eq!(f1, 100.0);
+        assert_eq!(f2, 150.0);
+        assert_eq!(sim.makespan(), 150.0);
+    }
+
+    #[test]
+    fn activities_on_different_resources_overlap() {
+        let mut sim = Sim::new();
+        let f1 = sim.run("fpga0", "k1", 0.0, 100.0);
+        let f2 = sim.run("fpga1", "k2", 0.0, 80.0);
+        assert_eq!(f1, 100.0);
+        assert_eq!(f2, 80.0);
+        assert_eq!(sim.makespan(), 100.0);
+    }
+
+    #[test]
+    fn ready_time_delays_start() {
+        let mut sim = Sim::new();
+        let f = sim.run("cpu", "late", 500.0, 10.0);
+        assert_eq!(f, 510.0);
+        assert_eq!(sim.log()[0].start, 500.0);
+    }
+
+    #[test]
+    fn utilization_and_busy_accounting() {
+        let mut sim = Sim::new();
+        sim.run("link", "t1", 0.0, 30.0);
+        sim.run("cpu", "c1", 0.0, 100.0);
+        assert_eq!(sim.busy_us("link"), 30.0);
+        assert!((sim.utilization("link") - 0.3).abs() < 1e-9);
+        assert!((sim.utilization("cpu") - 1.0).abs() < 1e-9);
+        assert_eq!(sim.utilization("unused"), 0.0);
+    }
+
+    #[test]
+    fn log_preserves_order_and_labels() {
+        let mut sim = Sim::new();
+        sim.run("r", "a", 0.0, 1.0);
+        sim.run("r", "b", 0.0, 1.0);
+        let labels: Vec<&str> = sim.log().iter().map(|a| a.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b"]);
+        assert_eq!(sim.resources(), ["r"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        Sim::new().run("r", "bad", 0.0, -1.0);
+    }
+}

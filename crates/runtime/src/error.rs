@@ -1,0 +1,45 @@
+//! Runtime-layer errors.
+
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type RuntimeResult<T> = Result<T, RuntimeError>;
+
+/// Errors raised by the virtualized runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// No operating point satisfies the active constraints.
+    NoFeasiblePoint,
+    /// A named VM/device/variant does not exist.
+    Unknown(String),
+    /// A vFPGA request could not be satisfied.
+    Allocation(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoFeasiblePoint => {
+                write!(f, "no operating point satisfies the constraints")
+            }
+            RuntimeError::Unknown(what) => write!(f, "unknown runtime entity '{what}'"),
+            RuntimeError::Allocation(msg) => write!(f, "vFPGA allocation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            RuntimeError::NoFeasiblePoint.to_string(),
+            "no operating point satisfies the constraints"
+        );
+        assert_eq!(RuntimeError::Unknown("vm0".into()).to_string(), "unknown runtime entity 'vm0'");
+    }
+}

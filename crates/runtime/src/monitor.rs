@@ -1,0 +1,131 @@
+//! Runtime monitors: the bridge between the hardware monitors of the
+//! data-protection layer and the autotuner's [`SystemState`].
+//!
+//! "Hardware monitors will collect the information to make the selection"
+//! (paper IV): this module aggregates per-invocation measurements into the
+//! dynamic state the selector consumes.
+
+use crate::autotuner::SystemState;
+use everest_security::{AutoProtect, ProtectAction, TimingMonitor};
+
+/// Aggregated runtime monitor for one kernel.
+#[derive(Debug, Clone)]
+pub struct RuntimeMonitor {
+    timing: TimingMonitor,
+    protect: AutoProtect,
+    free_luts: u64,
+    congestion: f64,
+    hardened_mode: bool,
+    isolations: usize,
+}
+
+impl RuntimeMonitor {
+    /// Creates a monitor with the given initially-free fabric.
+    pub fn new(free_luts: u64) -> RuntimeMonitor {
+        RuntimeMonitor {
+            timing: TimingMonitor::new(0.1, 5.0),
+            protect: AutoProtect::new(),
+            free_luts,
+            congestion: 1.0,
+            hardened_mode: false,
+            isolations: 0,
+        }
+    }
+
+    /// Records one invocation: observed latency plus monitor alarms from
+    /// the data-protection layer.
+    pub fn record(&mut self, latency_us: f64, access_alarm: bool, range_alarm: bool) {
+        let timing_alarm = self.timing.observe(latency_us);
+        match self.protect.step(timing_alarm, access_alarm, range_alarm) {
+            ProtectAction::None | ProtectAction::Audit => {}
+            ProtectAction::SwitchHardenedVariant => self.hardened_mode = true,
+            ProtectAction::Isolate => {
+                self.hardened_mode = true;
+                self.isolations += 1;
+            }
+        }
+    }
+
+    /// Updates resource availability (fabric reclaimed or consumed).
+    pub fn set_free_luts(&mut self, free: u64) {
+        self.free_luts = free;
+    }
+
+    /// Updates the observed link congestion factor (≥ 1).
+    pub fn set_congestion(&mut self, factor: f64) {
+        self.congestion = factor.max(1.0);
+    }
+
+    /// Clears the hardened-mode latch (after an operator all-clear).
+    pub fn reset_protection(&mut self) {
+        self.hardened_mode = false;
+    }
+
+    /// Number of isolate-level escalations so far.
+    pub fn isolations(&self) -> usize {
+        self.isolations
+    }
+
+    /// The [`SystemState`] snapshot the autotuner consumes.
+    pub fn system_state(&self) -> SystemState {
+        SystemState {
+            free_luts: self.free_luts,
+            link_congestion: self.congestion,
+            require_hardened: self.hardened_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_history_keeps_default_state() {
+        let mut m = RuntimeMonitor::new(100_000);
+        for _ in 0..50 {
+            m.record(100.0, false, false);
+        }
+        let s = m.system_state();
+        assert!(!s.require_hardened);
+        assert_eq!(s.free_luts, 100_000);
+    }
+
+    #[test]
+    fn access_alarms_latch_hardened_mode() {
+        let mut m = RuntimeMonitor::new(100_000);
+        for _ in 0..20 {
+            m.record(100.0, false, false);
+        }
+        m.record(100.0, true, false);
+        assert!(m.system_state().require_hardened);
+        m.reset_protection();
+        assert!(!m.system_state().require_hardened);
+    }
+
+    #[test]
+    fn combined_alarms_escalate_to_isolation() {
+        let mut m = RuntimeMonitor::new(100_000);
+        for _ in 0..20 {
+            m.record(100.0, false, false);
+        }
+        m.record(100.0, true, true);
+        assert_eq!(m.isolations(), 1);
+    }
+
+    #[test]
+    fn congestion_clamped_to_one() {
+        let mut m = RuntimeMonitor::new(0);
+        m.set_congestion(0.2);
+        assert_eq!(m.system_state().link_congestion, 1.0);
+        m.set_congestion(3.0);
+        assert_eq!(m.system_state().link_congestion, 3.0);
+    }
+
+    #[test]
+    fn fabric_updates_propagate() {
+        let mut m = RuntimeMonitor::new(10);
+        m.set_free_luts(999);
+        assert_eq!(m.system_state().free_luts, 999);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the crypto layer: round-trips, tamper detection and
+//! algebraic invariants hold for arbitrary inputs.
+
+use everest_security::modes::{AesCtr, AesGcm, NONCE_LEN, TAG_LEN};
+use everest_security::{hmac_sha256, sha256, Aes128};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gcm_round_trips_arbitrary_payloads(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; NONCE_LEN]>(),
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let gcm = AesGcm::new(&key);
+        let sealed = gcm.seal(&nonce, &payload, &aad);
+        prop_assert_eq!(sealed.len(), payload.len() + TAG_LEN);
+        let opened = gcm.open(&nonce, &sealed, &aad).expect("authentic");
+        prop_assert_eq!(opened, payload);
+    }
+
+    #[test]
+    fn gcm_detects_any_single_byte_flip(
+        key in any::<[u8; 16]>(),
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        flip_pos in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let gcm = AesGcm::new(&key);
+        let nonce = [3u8; NONCE_LEN];
+        let mut sealed = gcm.seal(&nonce, &payload, b"aad");
+        let pos = flip_pos.index(sealed.len());
+        sealed[pos] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, &sealed, b"aad").is_err(), "flip at {} undetected", pos);
+    }
+
+    #[test]
+    fn gcm_binds_the_nonce_and_aad(
+        key in any::<[u8; 16]>(),
+        n1 in any::<[u8; NONCE_LEN]>(),
+        n2 in any::<[u8; NONCE_LEN]>(),
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(n1 != n2);
+        let gcm = AesGcm::new(&key);
+        let sealed = gcm.seal(&n1, &payload, b"a");
+        prop_assert!(gcm.open(&n2, &sealed, b"a").is_err(), "wrong nonce accepted");
+        prop_assert!(gcm.open(&n1, &sealed, b"b").is_err(), "wrong aad accepted");
+    }
+
+    #[test]
+    fn ctr_is_an_involution(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; NONCE_LEN]>(),
+        ctr0 in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let ctr = AesCtr::new(&key);
+        let mut buf = payload.clone();
+        ctr.apply(&nonce, ctr0, &mut buf);
+        ctr.apply(&nonce, ctr0, &mut buf);
+        prop_assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn aes_decrypt_inverts_encrypt(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_injective_in_practice(
+        a in prop::collection::vec(any::<u8>(), 0..200),
+        b in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        prop_assert_eq!(sha256(&a), sha256(&a));
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b), "collision found?!");
+        }
+    }
+
+    #[test]
+    fn hmac_separates_keys_and_messages(
+        k1 in prop::collection::vec(any::<u8>(), 1..80),
+        k2 in prop::collection::vec(any::<u8>(), 1..80),
+        msg in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        prop_assert_eq!(hmac_sha256(&k1, &msg), hmac_sha256(&k1, &msg));
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+    }
+}

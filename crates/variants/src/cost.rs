@@ -1,0 +1,184 @@
+//! Cost models mapping a variant specification to predicted metrics.
+//!
+//! Software variants use a roofline model (compute roof vs. bandwidth
+//! roof, adjusted by threading, tiling and layout); hardware variants run
+//! the actual HLS flow from [`everest_hls`] and add the attachment's
+//! transfer cost.
+
+use crate::analysis::KernelWorkload;
+use crate::transform::{Layout, SpecExt, Target, Transform};
+use crate::variant::Metrics;
+use everest_hls::accel::{synthesize, HlsConfig};
+use everest_hls::dift::DiftConfig;
+use everest_hls::memory::Scheme;
+use everest_hls::HlsError;
+use everest_ir::Func;
+
+/// Reference host CPU for software variants (one POWER9-class socket).
+const GFLOPS_PER_CORE: f64 = 12.0;
+const MAX_CORES: u32 = 22;
+const MEM_BW_GBPS: f64 = 110.0;
+const CPU_IDLE_W: f64 = 60.0;
+const CPU_PER_THREAD_W: f64 = 6.0;
+
+/// Bus attachment (OpenCAPI): latency µs, bandwidth GB/s.
+const BUS_LAT_US: f64 = 0.4;
+const BUS_BW_GBPS: f64 = 22.0;
+/// Network attachment (cloudFPGA UDP): latency µs, bandwidth GB/s.
+const NET_LAT_US: f64 = 4.0;
+const NET_BW_GBPS: f64 = 1.2;
+
+/// Evaluates one variant specification.
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from hardware synthesis.
+pub fn evaluate(func: &Func, workload: &KernelWorkload, spec: &[Transform]) -> Result<Metrics, HlsError> {
+    match spec.target() {
+        Target::Cpu => Ok(software_metrics(workload, spec)),
+        target => hardware_metrics(func, workload, spec, target),
+    }
+}
+
+/// Roofline software model.
+pub fn software_metrics(workload: &KernelWorkload, spec: &[Transform]) -> Metrics {
+    let threads = spec.threads().clamp(1, MAX_CORES);
+    let parallel_eff = if threads > 1 { 0.7 } else { 1.0 };
+    // Tiling improves cache reuse for large, compute-dense kernels.
+    let tile_boost = match spec.tile() {
+        Some(_) if workload.intensity() > 4.0 && workload.max_dim >= 32 => 1.4,
+        Some(_) => 1.0,
+        None => 1.0,
+    };
+    // SoA streams better for bandwidth-bound kernels.
+    let layout_bw = match spec.layout() {
+        Layout::Soa => 1.3,
+        Layout::Aos => 1.0,
+    };
+    let compute_us =
+        workload.flops / (GFLOPS_PER_CORE * 1e3 * threads as f64 * parallel_eff * tile_boost);
+    let memory_us = workload.bytes / (MEM_BW_GBPS * 1e3 * layout_bw);
+    let latency_us = compute_us.max(memory_us).max(0.05);
+    let power_w = CPU_IDLE_W / 4.0 + CPU_PER_THREAD_W * threads as f64;
+    let energy_mj = power_w * latency_us * 1e-6 * 1e3;
+    Metrics { latency_us, transfer_us: 0.0, energy_mj, area_luts: 0, area_brams: 0 }
+}
+
+fn hardware_metrics(
+    func: &Func,
+    workload: &KernelWorkload,
+    spec: &[Transform],
+    target: Target,
+) -> Result<Metrics, HlsError> {
+    let config = HlsConfig {
+        banks: spec.banks(),
+        pipeline: spec.pipelined(),
+        scheme: Scheme::Cyclic,
+        pe: spec.pe(),
+        // Each PE needs its own port: banks scale with the PE count.
+        ports_per_bank: 2,
+        dift: spec.dift().then(DiftConfig::default),
+        ..HlsConfig::default()
+    };
+    let acc = synthesize(func, &config)?;
+    let (lat, bw) = match target {
+        Target::FpgaBus => (BUS_LAT_US, BUS_BW_GBPS),
+        Target::FpgaNetwork => (NET_LAT_US, NET_BW_GBPS),
+        Target::Cpu => unreachable!("software handled by caller"),
+    };
+    let transfer_us = 2.0 * lat + workload.bytes / (bw * 1e3);
+    let transfer_energy_mj = workload.bytes * 20e-9 * 1e3 * 1e-6; // 20 nJ/B
+    Ok(Metrics {
+        latency_us: acc.time_us(),
+        transfer_us,
+        energy_mj: acc.energy_uj() * 1e-3 + transfer_energy_mj,
+        area_luts: acc.area.luts,
+        area_brams: acc.area.brams,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    fn mm_kernel(n: usize) -> Func {
+        let src = format!(
+            "kernel mm(a: tensor<{n}x{n}xf64>, b: tensor<{n}x{n}xf64>) -> tensor<{n}x{n}xf64> {{ return a @ b; }}"
+        );
+        let m = everest_dsl::compile_kernels(&src).unwrap();
+        m.func("mm").unwrap().clone()
+    }
+
+    #[test]
+    fn more_threads_reduce_compute_bound_latency() {
+        let f = mm_kernel(64);
+        let w = analyze(&f);
+        let t1 = software_metrics(&w, &[Transform::Threads(1)]);
+        let t8 = software_metrics(&w, &[Transform::Threads(8)]);
+        assert!(t8.latency_us < t1.latency_us);
+    }
+
+    #[test]
+    fn tiling_helps_only_dense_kernels() {
+        let mm = analyze(&mm_kernel(64));
+        let tiled = software_metrics(&mm, &[Transform::Tile(32)]);
+        let flat = software_metrics(&mm, &[]);
+        assert!(tiled.latency_us < flat.latency_us);
+
+        // A bandwidth-bound axpy gains nothing from tiling.
+        let m = everest_dsl::compile_kernels(
+            "kernel ax(a: tensor<64xf64>, b: tensor<64xf64>) -> tensor<64xf64> { return a + b; }",
+        )
+        .unwrap();
+        let ax = analyze(m.func("ax").unwrap());
+        let tiled = software_metrics(&ax, &[Transform::Tile(32)]);
+        let flat = software_metrics(&ax, &[]);
+        assert_eq!(tiled.latency_us, flat.latency_us);
+    }
+
+    #[test]
+    fn soa_helps_bandwidth_bound_kernels() {
+        let m = everest_dsl::compile_kernels(
+            "kernel ax(a: tensor<4096xf64>, b: tensor<4096xf64>) -> tensor<4096xf64> { return a + b; }",
+        )
+        .unwrap();
+        let w = analyze(m.func("ax").unwrap());
+        let soa = software_metrics(&w, &[Transform::DataLayout(Layout::Soa)]);
+        let aos = software_metrics(&w, &[Transform::DataLayout(Layout::Aos)]);
+        assert!(soa.latency_us <= aos.latency_us);
+    }
+
+    #[test]
+    fn hardware_variants_carry_area() {
+        let f = mm_kernel(16);
+        let w = analyze(&f);
+        let m = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
+        assert!(m.area_luts > 0);
+        assert!(m.transfer_us > 0.0);
+    }
+
+    #[test]
+    fn network_attachment_pays_more_transfer_than_bus() {
+        let f = mm_kernel(16);
+        let w = analyze(&f);
+        let bus = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
+        let net = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaNetwork)]).unwrap();
+        assert!(net.transfer_us > bus.transfer_us);
+        assert_eq!(net.latency_us, bus.latency_us); // same synthesized kernel
+    }
+
+    #[test]
+    fn dift_variant_costs_more_area() {
+        let f = mm_kernel(16);
+        let w = analyze(&f);
+        let plain = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
+        let hard = evaluate(
+            &f,
+            &w,
+            &[Transform::OnTarget(Target::FpgaBus), Transform::Dift(true)],
+        )
+        .unwrap();
+        assert!(hard.area_luts > plain.area_luts);
+    }
+}

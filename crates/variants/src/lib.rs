@@ -1,0 +1,64 @@
+//! # everest-variants — code/hardware variant generation and DSE
+//!
+//! The EVEREST middle end "explore\[s\] the design space and create\[s\]
+//! multiple hardware and software variants ... performance/energy
+//! trade-offs that are exposed to the runtime system" (paper III-B). This
+//! crate implements that stage:
+//!
+//! * [`analysis`] — extracts a kernel's workload (flop count, bytes moved,
+//!   arithmetic intensity) from its IR;
+//! * [`transform`] — the transformation vocabulary (threads, layout,
+//!   tiling, FPGA offload, banking, pipelining, DIFT hardening);
+//! * [`cost`] — software (roofline-style) and hardware (via
+//!   [`everest_hls`]) cost models;
+//! * [`space`] — design-space enumeration;
+//! * [`pareto`] — Pareto-front filtering over (latency, energy, area);
+//! * [`variant`] — the [`variant::Variant`] records, serializable as the
+//!   "meta-information about the variants ... provided to the runtime".
+//!
+//! ## Example
+//!
+//! ```
+//! let module = everest_dsl::compile_kernels(
+//!     "kernel mm(a: tensor<16x16xf64>, b: tensor<16x16xf64>) -> tensor<16x16xf64> { return a @ b; }",
+//! ).unwrap();
+//! let space = everest_variants::space::DesignSpace::default();
+//! let variants = everest_variants::generate(module.func("mm").unwrap(), &space).unwrap();
+//! assert!(variants.len() > 4);
+//! let front = everest_variants::pareto::pareto_front(&variants);
+//! assert!(!front.is_empty());
+//! ```
+
+pub mod analysis;
+pub mod cost;
+pub mod pareto;
+pub mod space;
+pub mod transform;
+pub mod variant;
+
+pub use analysis::KernelWorkload;
+pub use transform::{Layout, Target, Transform};
+pub use variant::{Metrics, Variant};
+
+use everest_hls::HlsError;
+use everest_ir::Func;
+
+/// Generates the full variant set for a kernel over a design space.
+///
+/// # Errors
+///
+/// Propagates HLS failures for hardware points.
+pub fn generate(func: &Func, space: &space::DesignSpace) -> Result<Vec<Variant>, HlsError> {
+    let workload = analysis::analyze(func);
+    let mut variants = Vec::new();
+    for (i, spec) in space.enumerate().into_iter().enumerate() {
+        let metrics = cost::evaluate(func, &workload, &spec)?;
+        variants.push(Variant {
+            id: format!("{}#{}", func.name, i),
+            kernel: func.name.clone(),
+            transforms: spec,
+            metrics,
+        });
+    }
+    Ok(variants)
+}

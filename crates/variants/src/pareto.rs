@@ -1,0 +1,103 @@
+//! Pareto-front filtering over (time, energy, area).
+
+use crate::variant::Variant;
+
+/// Objective vector of a variant: minimize all three components.
+fn objectives(v: &Variant) -> (f64, f64, u64) {
+    (v.metrics.total_us(), v.metrics.energy_mj, v.metrics.area_luts)
+}
+
+/// `a` dominates `b` when it is no worse in every objective and strictly
+/// better in at least one.
+pub fn dominates(a: &Variant, b: &Variant) -> bool {
+    let (at, ae, aa) = objectives(a);
+    let (bt, be, ba) = objectives(b);
+    let no_worse = at <= bt && ae <= be && aa <= ba;
+    let better = at < bt || ae < be || aa < ba;
+    no_worse && better
+}
+
+/// Extracts the Pareto-optimal subset (non-dominated variants), preserving
+/// input order.
+pub fn pareto_front(variants: &[Variant]) -> Vec<Variant> {
+    variants
+        .iter()
+        .filter(|v| !variants.iter().any(|other| dominates(other, v)))
+        .cloned()
+        .collect()
+}
+
+/// The variant with the lowest end-to-end time.
+pub fn fastest(variants: &[Variant]) -> Option<&Variant> {
+    variants
+        .iter()
+        .min_by(|a, b| a.metrics.total_us().total_cmp(&b.metrics.total_us()))
+}
+
+/// The variant with the lowest energy.
+pub fn most_efficient(variants: &[Variant]) -> Option<&Variant> {
+    variants.iter().min_by(|a, b| a.metrics.energy_mj.total_cmp(&b.metrics.energy_mj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::Metrics;
+
+    fn v(id: &str, time: f64, energy: f64, luts: u64) -> Variant {
+        Variant {
+            id: id.into(),
+            kernel: "k".into(),
+            transforms: vec![],
+            metrics: Metrics {
+                latency_us: time,
+                transfer_us: 0.0,
+                energy_mj: energy,
+                area_luts: luts,
+                area_brams: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_filtered() {
+        let variants = vec![
+            v("good", 10.0, 1.0, 0),
+            v("dominated", 20.0, 2.0, 0),
+            v("tradeoff", 5.0, 3.0, 1000),
+        ];
+        let front = pareto_front(&variants);
+        let ids: Vec<&str> = front.iter().map(|v| v.id.as_str()).collect();
+        assert_eq!(ids, vec!["good", "tradeoff"]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let variants = vec![v("a", 1.0, 1.0, 0), v("b", 1.0, 1.0, 0)];
+        assert_eq!(pareto_front(&variants).len(), 2);
+    }
+
+    #[test]
+    fn front_never_empty_for_nonempty_input() {
+        let variants = vec![v("x", 3.0, 9.0, 7)];
+        assert_eq!(pareto_front(&variants).len(), 1);
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = v("a", 1.0, 1.0, 0);
+        let b = v("b", 1.0, 1.0, 0);
+        assert!(!dominates(&a, &b));
+        let c = v("c", 0.5, 1.0, 0);
+        assert!(dominates(&c, &a));
+        assert!(!dominates(&a, &c));
+    }
+
+    #[test]
+    fn extreme_selectors() {
+        let variants = vec![v("fast", 1.0, 10.0, 0), v("eff", 10.0, 1.0, 0)];
+        assert_eq!(fastest(&variants).unwrap().id, "fast");
+        assert_eq!(most_efficient(&variants).unwrap().id, "eff");
+        assert!(fastest(&[]).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Design-space definition and enumeration.
+
+use crate::transform::{Layout, Target, Transform};
+
+/// The knob domains a design-space exploration sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Software threading degrees.
+    pub threads: Vec<u32>,
+    /// Data layouts.
+    pub layouts: Vec<Layout>,
+    /// Tile sizes (`None` = untiled).
+    pub tiles: Vec<Option<usize>>,
+    /// Hardware targets to consider.
+    pub hw_targets: Vec<Target>,
+    /// Memory banks for hardware points.
+    pub banks: Vec<usize>,
+    /// Processing-element counts for hardware points.
+    pub pes: Vec<usize>,
+    /// DIFT hardening options for hardware points.
+    pub dift: Vec<bool>,
+}
+
+impl Default for DesignSpace {
+    fn default() -> DesignSpace {
+        DesignSpace {
+            threads: vec![1, 2, 4, 8],
+            layouts: vec![Layout::Aos, Layout::Soa],
+            tiles: vec![None, Some(32)],
+            hw_targets: vec![Target::FpgaBus, Target::FpgaNetwork],
+            banks: vec![4, 16],
+            pes: vec![8, 32],
+            dift: vec![false],
+        }
+    }
+}
+
+impl DesignSpace {
+    /// A minimal space for fast tests: 2 software + 1 hardware point.
+    pub fn small() -> DesignSpace {
+        DesignSpace {
+            threads: vec![1, 4],
+            layouts: vec![Layout::Aos],
+            tiles: vec![None],
+            hw_targets: vec![Target::FpgaBus],
+            banks: vec![16],
+            pes: vec![32],
+            dift: vec![false],
+        }
+    }
+
+    /// A software-only space (for hosts without FPGAs).
+    pub fn software_only() -> DesignSpace {
+        DesignSpace {
+            hw_targets: Vec::new(),
+            banks: Vec::new(),
+            pes: Vec::new(),
+            dift: Vec::new(),
+            ..DesignSpace::default()
+        }
+    }
+
+    /// Enumerates every point: the cross product of software knobs plus
+    /// the cross product of hardware knobs.
+    pub fn enumerate(&self) -> Vec<Vec<Transform>> {
+        let mut specs = Vec::new();
+        for &t in &self.threads {
+            for &l in &self.layouts {
+                for &tile in &self.tiles {
+                    let mut spec = vec![
+                        Transform::OnTarget(Target::Cpu),
+                        Transform::Threads(t),
+                        Transform::DataLayout(l),
+                    ];
+                    if let Some(size) = tile {
+                        spec.push(Transform::Tile(size));
+                    }
+                    specs.push(spec);
+                }
+            }
+        }
+        for &target in &self.hw_targets {
+            for &b in &self.banks {
+                for &pe in &self.pes {
+                    for &d in &self.dift {
+                        specs.push(vec![
+                            Transform::OnTarget(target),
+                            Transform::Banks(b),
+                            Transform::Pe(pe),
+                            Transform::Pipeline(true),
+                            Transform::Dift(d),
+                        ]);
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Number of points this space enumerates.
+    pub fn size(&self) -> usize {
+        self.threads.len() * self.layouts.len() * self.tiles.len()
+            + self.hw_targets.len() * self.banks.len() * self.pes.len() * self.dift.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::SpecExt;
+
+    #[test]
+    fn default_space_size() {
+        let s = DesignSpace::default();
+        assert_eq!(s.size(), 4 * 2 * 2 + 2 * 2 * 2);
+        assert_eq!(s.enumerate().len(), s.size());
+    }
+
+    #[test]
+    fn small_space_has_three_points() {
+        let s = DesignSpace::small();
+        assert_eq!(s.enumerate().len(), 3);
+    }
+
+    #[test]
+    fn software_only_space_has_no_fpga_points() {
+        let s = DesignSpace::software_only();
+        assert!(s.enumerate().iter().all(|spec| !spec.target().is_fpga()));
+    }
+
+    #[test]
+    fn every_point_names_a_target() {
+        for spec in DesignSpace::default().enumerate() {
+            // target() defaulting is not exercised: the enumerator is
+            // explicit about targets.
+            assert!(spec.iter().any(|t| matches!(t, Transform::OnTarget(_))));
+        }
+    }
+}

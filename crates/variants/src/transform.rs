@@ -1,0 +1,211 @@
+//! The transformation vocabulary from which variants are assembled.
+
+use serde::{Deserialize, Serialize};
+
+/// Data layout for record-heavy kernels (the paper's particles example:
+//  "layouts of particles as array-of-structures or structure-of-arrays").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Array of structures: good locality per record.
+    Aos,
+    /// Structure of arrays: good vectorization/bandwidth.
+    Soa,
+}
+
+/// Execution target of a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Software on the host CPU.
+    Cpu,
+    /// Bus-attached (OpenCAPI) FPGA accelerator.
+    FpgaBus,
+    /// Network-attached (cloudFPGA) accelerator.
+    FpgaNetwork,
+}
+
+impl Target {
+    /// `true` for hardware targets.
+    pub fn is_fpga(&self) -> bool {
+        !matches!(self, Target::Cpu)
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Target::Cpu => "cpu",
+            Target::FpgaBus => "fpga-bus",
+            Target::FpgaNetwork => "fpga-net",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single transformation applied to the baseline kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Run on the given target.
+    OnTarget(Target),
+    /// Software threading degree.
+    Threads(u32),
+    /// Data layout choice.
+    DataLayout(Layout),
+    /// Loop tiling with the given tile edge (software cache blocking).
+    Tile(usize),
+    /// Memory banks for on-chip buffers (hardware).
+    Banks(usize),
+    /// Pipeline innermost loops (hardware).
+    Pipeline(bool),
+    /// Harden with DIFT taint tracking (hardware).
+    Dift(bool),
+    /// Processing-element replication (hardware outer-loop unroll).
+    Pe(usize),
+}
+
+/// A variant specification: an ordered list of transforms. Helper
+/// accessors pull out individual knobs with defaults.
+pub trait SpecExt {
+    /// The execution target (default CPU).
+    fn target(&self) -> Target;
+    /// Software threads (default 1).
+    fn threads(&self) -> u32;
+    /// Layout (default AoS).
+    fn layout(&self) -> Layout;
+    /// Tile size (None = untiled).
+    fn tile(&self) -> Option<usize>;
+    /// Banks (default 2).
+    fn banks(&self) -> usize;
+    /// Pipelining (default true).
+    fn pipelined(&self) -> bool;
+    /// DIFT hardening (default false).
+    fn dift(&self) -> bool;
+    /// Processing elements (default 8).
+    fn pe(&self) -> usize;
+}
+
+impl SpecExt for [Transform] {
+    fn target(&self) -> Target {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::OnTarget(tg) => Some(*tg),
+                _ => None,
+            })
+            .unwrap_or(Target::Cpu)
+    }
+
+    fn threads(&self) -> u32 {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::Threads(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+
+    fn layout(&self) -> Layout {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::DataLayout(l) => Some(*l),
+                _ => None,
+            })
+            .unwrap_or(Layout::Aos)
+    }
+
+    fn tile(&self) -> Option<usize> {
+        self.iter().find_map(|t| match t {
+            Transform::Tile(s) => Some(*s),
+            _ => None,
+        })
+    }
+
+    fn banks(&self) -> usize {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::Banks(b) => Some(*b),
+                _ => None,
+            })
+            .unwrap_or(2)
+    }
+
+    fn pipelined(&self) -> bool {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::Pipeline(p) => Some(*p),
+                _ => None,
+            })
+            .unwrap_or(true)
+    }
+
+    fn dift(&self) -> bool {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::Dift(d) => Some(*d),
+                _ => None,
+            })
+            .unwrap_or(false)
+    }
+
+    fn pe(&self) -> usize {
+        self.iter()
+            .find_map(|t| match t {
+                Transform::Pe(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors_with_defaults() {
+        let spec: Vec<Transform> = vec![];
+        assert_eq!(spec.target(), Target::Cpu);
+        assert_eq!(spec.threads(), 1);
+        assert_eq!(spec.layout(), Layout::Aos);
+        assert_eq!(spec.tile(), None);
+        assert_eq!(spec.banks(), 2);
+        assert!(spec.pipelined());
+        assert!(!spec.dift());
+        assert_eq!(spec.pe(), 8);
+    }
+
+    #[test]
+    fn spec_accessors_with_values() {
+        let spec = vec![
+            Transform::OnTarget(Target::FpgaBus),
+            Transform::Banks(8),
+            Transform::Pipeline(false),
+            Transform::Dift(true),
+            Transform::Threads(4),
+            Transform::Tile(32),
+            Transform::DataLayout(Layout::Soa),
+            Transform::Pe(16),
+        ];
+        assert_eq!(spec.target(), Target::FpgaBus);
+        assert!(spec.target().is_fpga());
+        assert_eq!(spec.banks(), 8);
+        assert!(!spec.pipelined());
+        assert!(spec.dift());
+        assert_eq!(spec.threads(), 4);
+        assert_eq!(spec.tile(), Some(32));
+        assert_eq!(spec.layout(), Layout::Soa);
+        assert_eq!(spec.pe(), 16);
+    }
+
+    #[test]
+    fn transforms_serialize_round_trip() {
+        let spec = vec![Transform::OnTarget(Target::FpgaNetwork), Transform::Banks(4)];
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: Vec<Transform> = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(Target::Cpu.to_string(), "cpu");
+        assert_eq!(Target::FpgaNetwork.to_string(), "fpga-net");
+    }
+}

@@ -1,0 +1,168 @@
+//! The simulated distributed executor: applies a scheduling policy to a
+//! task graph over a worker pool and reports the resulting timeline.
+
+use crate::error::{WorkflowError, WorkflowResult};
+use crate::graph::{TaskGraph, TaskId};
+use crate::scheduler::{task_order, AssignState, Policy};
+use crate::worker::Worker;
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy used.
+    pub policy: Policy,
+    /// Overall makespan in microseconds.
+    pub makespan_us: f64,
+    /// Worker index per task.
+    pub assignment: Vec<usize>,
+    /// Start time per task.
+    pub start: Vec<f64>,
+    /// Finish time per task.
+    pub finish: Vec<f64>,
+    /// Busy time per worker.
+    pub worker_busy_us: Vec<f64>,
+}
+
+impl RunReport {
+    /// Parallel speedup versus serial execution on a speed-1 worker.
+    pub fn speedup(&self, graph: &TaskGraph) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 1.0;
+        }
+        graph.total_work_us() / self.makespan_us
+    }
+
+    /// Mean worker utilization (busy / makespan).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan_us <= 0.0 || self.worker_busy_us.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.worker_busy_us.iter().sum();
+        total / (self.makespan_us * self.worker_busy_us.len() as f64)
+    }
+
+    /// Tasks assigned to worker `w`.
+    pub fn tasks_on(&self, w: usize) -> Vec<TaskId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == w)
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+/// Simulates executing `graph` on `workers` under `policy`.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::NoWorkers`] for an empty pool.
+pub fn simulate(graph: &TaskGraph, workers: &[Worker], policy: Policy) -> WorkflowResult<RunReport> {
+    if workers.is_empty() {
+        return Err(WorkflowError::NoWorkers);
+    }
+    let mut st = AssignState::new(graph.len(), workers.len());
+    for task in task_order(graph, policy) {
+        let w = st.choose(graph, workers, task, policy);
+        st.place(graph, workers, task, w);
+    }
+    let makespan = st.finish.iter().copied().fold(0.0, f64::max);
+    let mut busy = vec![0.0; workers.len()];
+    for (t, w) in st.assignment.iter().enumerate() {
+        busy[*w] += st.finish[t] - st.start[t];
+    }
+    Ok(RunReport {
+        policy,
+        makespan_us: makespan,
+        assignment: st.assignment,
+        start: st.start,
+        finish: st.finish,
+        worker_busy_us: busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let g = TaskGraph::wide(4, 10.0, 0);
+        assert_eq!(simulate(&g, &[], Policy::Fifo).unwrap_err(), WorkflowError::NoWorkers);
+    }
+
+    #[test]
+    fn single_worker_makespan_is_total_work() {
+        let g = TaskGraph::wide(8, 10.0, 0);
+        let w = Worker::uniform_pool(1, 1.0);
+        let run = simulate(&g, &w, Policy::MinLoad).unwrap();
+        assert!((run.makespan_us - g.total_work_us()).abs() < 1e-6);
+        assert!((run.mean_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_graphs_scale_with_workers() {
+        let g = TaskGraph::wide(32, 100.0, 0);
+        let one = simulate(&g, &Worker::uniform_pool(1, 1.0), Policy::Heft).unwrap();
+        let eight = simulate(&g, &Worker::uniform_pool(8, 1.0), Policy::Heft).unwrap();
+        assert!(eight.makespan_us < one.makespan_us / 4.0);
+        assert!(eight.speedup(&g) > 4.0);
+    }
+
+    #[test]
+    fn deep_graphs_do_not_scale() {
+        let g = TaskGraph::deep(16, 100.0, 0);
+        let one = simulate(&g, &Worker::uniform_pool(1, 1.0), Policy::Heft).unwrap();
+        let eight = simulate(&g, &Worker::uniform_pool(8, 1.0), Policy::Heft).unwrap();
+        // A chain cannot go faster than its critical path.
+        assert!(eight.makespan_us >= g.critical_path_us());
+        assert!(eight.makespan_us <= one.makespan_us + 1e-9);
+    }
+
+    #[test]
+    fn heft_beats_fifo_on_heterogeneous_pools() {
+        let g = TaskGraph::random(3, 6, 8, 500.0);
+        let workers = Worker::heterogeneous_pool(2, 6);
+        let fifo = simulate(&g, &workers, Policy::Fifo).unwrap();
+        let heft = simulate(&g, &workers, Policy::Heft).unwrap();
+        assert!(
+            heft.makespan_us <= fifo.makespan_us,
+            "HEFT {} should not lose to FIFO {}",
+            heft.makespan_us,
+            fifo.makespan_us
+        );
+    }
+
+    #[test]
+    fn schedule_respects_dependencies_and_exclusivity() {
+        let g = TaskGraph::random(9, 5, 6, 200.0);
+        let workers = Worker::uniform_pool(3, 1.0);
+        for policy in [Policy::Fifo, Policy::MinLoad, Policy::Heft] {
+            let run = simulate(&g, &workers, policy).unwrap();
+            // Dependencies.
+            for (id, t) in g.tasks().iter().enumerate() {
+                for d in &t.deps {
+                    assert!(run.start[id] >= run.finish[*d] - 1e-9, "{policy}: dep violated");
+                }
+            }
+            // Worker exclusivity: tasks on one worker do not overlap.
+            for w in 0..workers.len() {
+                let mut spans: Vec<(f64, f64)> =
+                    run.tasks_on(w).iter().map(|t| (run.start[*t], run.finish[*t])).collect();
+                spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for pair in spans.windows(2) {
+                    assert!(pair[1].0 >= pair[0].1 - 1e-9, "{policy}: overlap on worker {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let g = TaskGraph::diamond(3, 10.0, 100);
+        let run = simulate(&g, &Worker::uniform_pool(2, 1.0), Policy::Heft).unwrap();
+        let all: usize = (0..2).map(|w| run.tasks_on(w).len()).sum();
+        assert_eq!(all, g.len());
+        assert!(run.mean_utilization() > 0.0 && run.mean_utilization() <= 1.0);
+    }
+}

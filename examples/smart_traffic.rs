@@ -1,0 +1,99 @@
+//! Use case VI-C: traffic modeling for intelligent transportation.
+//!
+//! Builds a synthetic smart-city road network, learns per-segment speed
+//! profiles from synthetic floating-car data, answers probabilistic
+//! time-dependent routing (PTDR) queries by Monte-Carlo sampling, runs the
+//! macroscopic traffic simulator under O/D demand, and shows the
+//! edge-vs-cloud placement question for the routing service (paper Fig. 3).
+//!
+//! Run with: `cargo run --example smart_traffic`
+
+use everest::apps::traffic::{
+    assign_traffic, generate_fcd, ptdr_travel_time, random_od, shortest_route, RoadNetwork,
+    SpeedProfiles,
+};
+use everest::apps::micro::fundamental_diagram;
+use everest::platform::ecosystem::{best_placement, evaluate, Stage, Tier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // "our model will operate on selected cities (like Vienna) counting
+    // thousands of vehicles daily"
+    let network = RoadNetwork::grid(2026, 12, 0.8);
+    println!(
+        "road network: {} nodes, {} segments",
+        network.nodes.len(),
+        network.edges.len()
+    );
+    let fcd = generate_fcd(&network, 7, 300_000);
+    println!("floating-car data: {} observations", fcd.len());
+    let profiles = SpeedProfiles::learn(&network, &fcd);
+
+    println!("\n=== PTDR: probabilistic time-dependent routing (ref [37]) ===");
+    let (from, to) = (0, network.nodes.len() - 1);
+    let route = shortest_route(&network, &profiles, from, to, 8).expect("city is connected");
+    println!("route {from} -> {to}: {} segments", route.len());
+    println!("{:>10} {:>12} {:>12} {:>12}", "samples", "mean min", "p95 min", "std min");
+    for samples in [10usize, 100, 1_000, 10_000] {
+        let stats = ptdr_travel_time(&network, &profiles, &route, 8.0, samples, 99);
+        println!(
+            "{samples:>10} {:>12.1} {:>12.1} {:>12.2}",
+            stats.mean_h * 60.0,
+            stats.p95_h * 60.0,
+            stats.std_h * 60.0
+        );
+    }
+    let night = ptdr_travel_time(&network, &profiles, &route, 3.0, 5_000, 99);
+    let rush = ptdr_travel_time(&network, &profiles, &route, 8.0, 5_000, 99);
+    println!(
+        "departure at 03:00 -> {:.1} min, at 08:00 -> {:.1} min",
+        night.mean_h * 60.0,
+        rush.mean_h * 60.0
+    );
+
+    println!("\n=== macroscopic assignment under O/D demand ===");
+    let od = random_od(&network, 5, 60, 700.0);
+    let report = assign_traffic(&network, &profiles, &od, 8, 8);
+    let over_capacity = report
+        .flows
+        .iter()
+        .zip(&network.edges)
+        .filter(|(f, e)| **f > e.capacity_veh_h)
+        .count();
+    println!(
+        "total: {:.0} vehicle-hours; {} segments over capacity; {} unrouted pairs",
+        report.total_vehicle_hours, over_capacity, report.unrouted
+    );
+
+    println!("\n=== microscopic simulator: the fundamental diagram (VI-C) ===");
+    // "combining both macro and microscopic approaches": the IDM ring road
+    // generates the flow-density curve the macroscopic profiles consume.
+    println!("{:>14} {:>12}", "density v/km", "flow veh/h");
+    for (density, flow) in fundamental_diagram(3, 2_000.0, &[10, 40, 80, 140, 200]) {
+        println!("{density:>14.1} {flow:>12.0}");
+    }
+
+    println!("\n=== where should the routing service run? (paper Fig. 3) ===");
+    // Per-query pipeline: ingest FCD burst, update the model, answer PTDR.
+    let stages = vec![
+        Stage::new("ingest+filter", 5e5, 20_000, false),
+        Stage::new("model-update", 2e8, 50_000, true),
+        Stage::new("ptdr-query", 5e9, 2_000, true),
+    ];
+    for placement in [
+        vec![Tier::Endpoint, Tier::InnerEdge, Tier::InnerEdge],
+        vec![Tier::Endpoint, Tier::InnerEdge, Tier::Cloud],
+        vec![Tier::Cloud, Tier::Cloud, Tier::Cloud],
+    ] {
+        let r = evaluate(&stages, &placement, 2_000_000);
+        println!(
+            "  {:<38} latency {:>9.0} us  energy {:>7.1} mJ  WAN {:>9} B",
+            format!("{placement:?}"),
+            r.latency_us,
+            r.energy_mj,
+            r.wan_bytes
+        );
+    }
+    let (best, best_report) = best_placement(&stages, 2_000_000);
+    println!("best placement: {best:?} at {:.0} us per query", best_report.latency_us);
+    Ok(())
+}

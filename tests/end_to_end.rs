@@ -1,0 +1,170 @@
+//! End-to-end integration: DSL source → unified IR → variants → HLS →
+//! deployment on the reference system → runtime adaptation, spanning every
+//! crate of the workspace.
+
+use everest::runtime::adaptation::{run_scenario, Phase, Strategy};
+use everest::runtime::autotuner::SystemState;
+use everest::Sdk;
+
+const SRC: &str = "
+    kernel gemm(a: tensor<64x64xf64>, b: tensor<64x64xf64>) -> tensor<64x64xf64> {
+        return a @ b;
+    }
+    kernel smooth(x: tensor<4096xf64>) -> tensor<4096xf64> {
+        return stencil(x, [0.25, 0.5, 0.25]);
+    }
+    kernel activate(x: tensor<4096xf64>) -> tensor<4096xf64> {
+        return sigmoid(x);
+    }
+";
+
+#[test]
+fn compile_produces_verified_ir_and_variants() {
+    let sdk = Sdk::new();
+    let compiled = sdk.compile(SRC).expect("compiles");
+    compiled.module.verify().expect("module verifies after passes");
+    assert_eq!(compiled.kernels.len(), 3);
+    for kernel in &compiled.kernels {
+        assert_eq!(kernel.variants.len(), sdk.space.size(), "kernel {}", kernel.name);
+        // Hardware and software variants both present.
+        assert!(kernel.variants.iter().any(|v| v.is_hardware()));
+        assert!(kernel.variants.iter().any(|v| !v.is_hardware()));
+        // Every hardware variant carries area; software carries none.
+        for v in &kernel.variants {
+            if v.is_hardware() {
+                assert!(v.metrics.area_luts > 0, "{} has no area", v.id);
+            } else {
+                assert_eq!(v.metrics.area_luts, 0);
+            }
+        }
+    }
+}
+
+fn best_hw_us(kernel: &everest::CompiledKernel) -> f64 {
+    kernel
+        .variants
+        .iter()
+        .filter(|v| v.is_hardware())
+        .map(|v| v.metrics.total_us())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn sw_threads_us(kernel: &everest::CompiledKernel, threads: u32) -> f64 {
+    kernel
+        .variants
+        .iter()
+        .filter(|v| {
+            !v.is_hardware()
+                && v.transforms
+                    .iter()
+                    .any(|t| matches!(t, everest::variants::Transform::Threads(n) if *n == threads))
+        })
+        .map(|v| v.metrics.total_us())
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn transcendental_kernel_acceleration_beats_software_latency() {
+    // The paper's performance claim (VI-D): custom function units shine on
+    // the AI-style kernels (activations) where CPUs burn many flops per
+    // element.
+    let sdk = Sdk::new();
+    let compiled = sdk.compile(SRC).unwrap();
+    let activate = compiled.kernel("activate").unwrap();
+    let hw = best_hw_us(activate);
+    let sw1 = sw_threads_us(activate, 1);
+    assert!(hw < sw1, "hardware {hw} us should beat 1-thread software {sw1} us");
+}
+
+#[test]
+fn gemm_acceleration_wins_on_energy() {
+    // For dense linear algebra the FPGA's edge is energy (performance per
+    // watt), the second half of the paper's VI-D claim.
+    let sdk = Sdk::new();
+    let compiled = sdk.compile(SRC).unwrap();
+    let gemm = compiled.kernel("gemm").unwrap();
+    let best_hw_energy = gemm
+        .variants
+        .iter()
+        .filter(|v| v.is_hardware())
+        .map(|v| v.metrics.energy_mj)
+        .fold(f64::INFINITY, f64::min);
+    let best_sw_energy = gemm
+        .variants
+        .iter()
+        .filter(|v| !v.is_hardware())
+        .map(|v| v.metrics.energy_mj)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_hw_energy < best_sw_energy,
+        "hardware energy {best_hw_energy} mJ should beat software {best_sw_energy} mJ"
+    );
+}
+
+#[test]
+fn deployment_fits_reference_fabric_and_selection_respects_state() {
+    let sdk = Sdk::new();
+    let compiled = sdk.compile(SRC).unwrap();
+    let deployment = sdk.deploy(&compiled, "cloud-p9").expect("all kernels deploy");
+    assert_eq!(deployment.placements.len(), 3);
+    // Free fabric shrank but stayed positive.
+    assert!(deployment.hypervisor.vfpga.free_luts() > 0);
+
+    // Under an energy objective (the paper's efficiency claim) the
+    // accelerator wins whenever fabric is free; losing the fabric forces a
+    // software point.
+    let mut tuner = compiled.kernel("activate").unwrap().autotuner();
+    tuner.set_objective(everest::runtime::Objective::MinEnergy);
+    let fast = tuner.select(&SystemState::default()).unwrap();
+    assert!(fast.is_hardware(), "with free fabric the accelerator wins on energy");
+    let no_fabric = tuner.select(&SystemState { free_luts: 0, ..Default::default() }).unwrap();
+    assert!(!no_fabric.is_hardware(), "without fabric a software point is chosen");
+}
+
+#[test]
+fn adaptation_scenario_with_real_variants() {
+    let sdk = Sdk::small();
+    let compiled = sdk.compile(SRC).unwrap();
+    let points = compiled.kernel("gemm").unwrap().variants.clone();
+    let phases = vec![
+        Phase::calm("steady", 40),
+        Phase { congestion: 200.0, ..Phase::calm("congested", 40) },
+        Phase { free_luts: 0, ..Phase::calm("fabric-gone", 40) },
+        Phase::calm("recovered", 40),
+    ];
+    let adaptive = run_scenario(&points, &phases, Strategy::Adaptive);
+    let oracle = run_scenario(&points, &phases, Strategy::Oracle);
+    assert!(adaptive.total_us >= oracle.total_us - 1e-6);
+    assert!(
+        adaptive.total_us <= oracle.total_us * 1.3,
+        "adaptive {} must track oracle {}",
+        adaptive.total_us,
+        oracle.total_us
+    );
+    // Every static choice loses to adaptation across these phases.
+    for i in 0..points.len() {
+        let static_run = run_scenario(&points, &phases, Strategy::Static(i));
+        assert!(
+            adaptive.total_us <= static_run.total_us + 1e-6,
+            "static #{i} ({}) beat adaptive",
+            points[i].id
+        );
+    }
+}
+
+#[test]
+fn variant_metadata_round_trips_to_runtime_via_json() {
+    // "Meta-information about the variants will be provided to the runtime
+    // system": serialize at compile time, deserialize runtime-side.
+    let sdk = Sdk::small();
+    let compiled = sdk.compile(SRC).unwrap();
+    let kernel = compiled.kernel("smooth").unwrap();
+    let wire: Vec<String> = kernel.variants.iter().map(|v| v.to_json()).collect();
+    let restored: Vec<everest::variants::Variant> = wire
+        .iter()
+        .map(|j| everest::variants::Variant::from_json(j).expect("valid json"))
+        .collect();
+    assert_eq!(restored, kernel.variants);
+    let tuner = everest::runtime::Autotuner::new(restored);
+    assert!(tuner.select(&SystemState::default()).is_ok());
+}

@@ -1,0 +1,134 @@
+//! Security integration: secure-dialect annotations, DIFT taint tracking,
+//! authenticated encryption and the auto-protection loop acting together —
+//! the paper's "data-centric approach for security" (III-A).
+
+use everest::hls::dift::TaintEngine;
+use everest::ir::dialects::secure;
+use everest::ir::{FuncBuilder, Module, Type};
+use everest::runtime::RuntimeMonitor;
+use everest::security::modes::AesGcm;
+use everest::security::{hmac_sha256, sha256, AccessMonitor, RangeMonitor};
+
+#[test]
+fn secure_dialect_annotations_survive_compilation() {
+    let data_ty = Type::tensor(Type::F64, &[16]);
+    let key_ty = Type::Bytes(16);
+    let mut fb = FuncBuilder::new("protect", &[data_ty, key_ty], &[]);
+    let (a0, a1) = (fb.arg(0), fb.arg(1));
+    let tainted = secure::taint(&mut fb, a0, "patient-data");
+    let ct = secure::encrypt(&mut fb, tainted, a1);
+    secure::check(&mut fb, ct, "no-plaintext-export");
+    fb.ret(&[]);
+    let mut module = Module::new("secure");
+    module.push(fb.finish());
+    module.verify().expect("secure ops verify");
+    // Round-trip through the textual format (exchange between tools).
+    let text = module.to_text();
+    let parsed = everest::ir::parse_module(&text).expect("parses");
+    assert_eq!(parsed.to_text(), text);
+}
+
+#[test]
+fn taint_tracking_matches_encryption_boundary() {
+    // Model the dataflow of the kernel above in the taint engine: the
+    // policy allows exporting ciphertext but not anything tainted by the
+    // plaintext label after declassification-by-encryption.
+    let mut engine = TaintEngine::new();
+    engine.taint("plaintext", "pii");
+    engine.taint("key", "secret");
+    engine.propagate(&["plaintext", "key"], "ciphertext");
+    assert!(engine.is_tainted("ciphertext", "pii"));
+    // Encryption is the sanctioned declassification point.
+    engine.declassify("ciphertext");
+    let violations = engine.check_outputs(&["ciphertext"], &["pii", "secret"]);
+    assert!(violations.is_empty());
+    // Leaking the raw plaintext is still caught.
+    engine.propagate(&["plaintext"], "debug_log");
+    let violations = engine.check_outputs(&["debug_log"], &["pii"]);
+    assert_eq!(violations.len(), 1);
+}
+
+#[test]
+fn encrypted_telemetry_is_tamper_evident_end_to_end() {
+    // Edge node seals sensor data; cloud node opens it. A bit flipped in
+    // flight (or a wrong AAD routing header) must be detected.
+    let key = sha256(b"everest-session-key-material");
+    let key16: [u8; 16] = key[..16].try_into().expect("16-byte key slice");
+    let gcm = AesGcm::new(&key16);
+    let nonce = [3u8; 12];
+    let telemetry = b"wind=11.3m/s power=2.41MW hour=14";
+    let sealed = gcm.seal(&nonce, telemetry, b"edge-arm->cloud-p9");
+
+    // Happy path.
+    let opened = gcm.open(&nonce, &sealed, b"edge-arm->cloud-p9").expect("authentic");
+    assert_eq!(opened, telemetry);
+
+    // Tampered payload.
+    let mut corrupted = sealed.clone();
+    corrupted[5] ^= 0x80;
+    assert!(gcm.open(&nonce, &corrupted, b"edge-arm->cloud-p9").is_err());
+
+    // Replayed to the wrong route (AAD mismatch).
+    assert!(gcm.open(&nonce, &sealed, b"edge-arm->endpoint-0").is_err());
+
+    // Integrity of the full message log via HMAC chaining.
+    let mac1 = hmac_sha256(&key, &sealed);
+    let mac2 = hmac_sha256(&key, &sealed);
+    assert_eq!(mac1, mac2);
+}
+
+#[test]
+fn buffer_overflow_scan_triggers_hardened_mode() {
+    // Train the access monitor on the kernel's legal stride pattern, then
+    // replay an attack-like linear byte scan; the auto-protect policy must
+    // switch the runtime to hardened variants.
+    let mut access = AccessMonitor::new(6);
+    for i in 0..64u64 {
+        access.observe(0x1000 + i * 8);
+    }
+    access.freeze();
+
+    let range = RangeMonitor::new(-50.0, 60.0);
+    let mut monitor = RuntimeMonitor::new(500_000);
+    // Benign warm-up.
+    for _ in 0..30 {
+        monitor.record(120.0, false, false);
+    }
+    assert!(!monitor.system_state().require_hardened);
+
+    // Attack phase: unknown strides + out-of-range sensor values.
+    let mut saw_alarm = false;
+    for addr in 0x9000u64..0x9040 {
+        let alarm = access.observe(addr);
+        saw_alarm |= alarm;
+        monitor.record(120.0, alarm, range.observe(1e9));
+    }
+    assert!(saw_alarm, "the scan must trip the access monitor");
+    assert!(monitor.system_state().require_hardened);
+    assert!(monitor.isolations() > 0, "combined alarms escalate to isolation");
+}
+
+#[test]
+fn dift_hardened_accelerator_available_when_required() {
+    // Compile with DIFT points in the space, then demand hardened execution.
+    use everest::variants::space::DesignSpace;
+    use everest::variants::Transform;
+    let sdk = everest::Sdk {
+        space: DesignSpace { dift: vec![false, true], ..DesignSpace::small() },
+        ..everest::Sdk::new()
+    };
+    let compiled = sdk
+        .compile("kernel f(x: tensor<64xf64>) -> tensor<64xf64> { return relu(x); }")
+        .unwrap();
+    let kernel = compiled.kernel("f").unwrap();
+    let tuner = kernel.autotuner();
+    let hardened = tuner
+        .select(&everest::runtime::autotuner::SystemState {
+            require_hardened: true,
+            ..Default::default()
+        })
+        .expect("a hardened or software point exists");
+    let ok = !hardened.is_hardware()
+        || hardened.transforms.iter().any(|t| matches!(t, Transform::Dift(true)));
+    assert!(ok, "selected point must be software or DIFT-hardened");
+}

@@ -1,0 +1,124 @@
+//! Workflow integration: the workflow DSL lowers to the `df` dialect and
+//! to a HyperLoom-style task graph, which then executes both on the
+//! simulated distributed platform and for real on the multi-threaded
+//! executor — with actual use-case computations inside the tasks.
+
+use everest::apps::airquality::{reference_site, Meteo, Stability};
+use everest::apps::weather::{generate_truth, WindFarm};
+use everest::dsl::WorkflowSpec;
+use everest::task_graph_from_workflow;
+use everest::workflow::exec::simulate;
+use everest::workflow::parallel::ParallelGraph;
+use everest::workflow::{Policy, Worker};
+
+const PIPELINE: &str = r#"
+    workflow monitoring {
+        source met: "weather-station";
+        task forecast_wind(met) -> wind;
+        task farm_power(wind) -> power;
+        task plume(met) -> pollution;
+        sink power: "energy-desk";
+        sink pollution: "env-dashboard";
+    }
+"#;
+
+#[test]
+fn workflow_dsl_to_ir_and_task_graph_agree() {
+    let spec = WorkflowSpec::parse(PIPELINE).unwrap();
+    // IR lowering (Fig. 1: unified representation).
+    let module = spec.to_ir().unwrap();
+    let func = module.func("monitoring").unwrap();
+    let mut tasks_in_ir = 0;
+    func.walk(&mut |op| {
+        if op.name == "df.task" {
+            tasks_in_ir += 1;
+        }
+    });
+    assert_eq!(tasks_in_ir, 3);
+    // Task-graph lowering (HyperLoom integration).
+    let graph = task_graph_from_workflow(&spec, |_| (1_000.0, 10_000));
+    assert_eq!(graph.len(), 6); // 1 source + 3 tasks + 2 sinks
+    assert_eq!(spec.task_edges().len(), 1); // forecast_wind -> farm_power
+}
+
+#[test]
+fn simulated_execution_scales_with_workers_and_scheduler() {
+    let spec = WorkflowSpec::parse(PIPELINE).unwrap();
+    let graph = task_graph_from_workflow(&spec, |name| match name {
+        "forecast_wind" => (80_000.0, 1_000_000),
+        "farm_power" => (20_000.0, 10_000),
+        "plume" => (60_000.0, 500_000),
+        _ => (100.0, 100_000),
+    });
+    let one = simulate(&graph, &Worker::uniform_pool(1, 1.0), Policy::Heft).unwrap();
+    let four = simulate(&graph, &Worker::uniform_pool(4, 1.0), Policy::Heft).unwrap();
+    // plume runs parallel to the wind chain: 4 workers must help.
+    assert!(four.makespan_us < one.makespan_us);
+    // And HEFT must not lose to FIFO on the heterogeneous pool.
+    let workers = Worker::heterogeneous_pool(1, 3);
+    let heft = simulate(&graph, &workers, Policy::Heft).unwrap();
+    let fifo = simulate(&graph, &workers, Policy::Fifo).unwrap();
+    assert!(heft.makespan_us <= fifo.makespan_us + 1e-9);
+}
+
+#[test]
+fn real_threaded_execution_computes_use_case_numbers() {
+    // The same pipeline as real closures: forecast wind, compute farm
+    // power, and run the plume model, fanned out over threads.
+    let mut g: ParallelGraph<Vec<f64>> = ParallelGraph::new();
+    let met = g.add_task("met", &[], |_| Ok(vec![42.0]));
+    let wind = g.add_task("forecast_wind", &[met], |ins| {
+        let seed = ins[0][0] as u64;
+        let truth = generate_truth(seed, 40.0, 2.0);
+        Ok(truth.hourly.iter().map(|f| f.mean()).collect())
+    });
+    let power = g.add_task("farm_power", &[wind], |ins| {
+        // Apply the power curve to the hourly mean winds of a 10-turbine farm.
+        Ok(ins[0]
+            .iter()
+            .map(|w| WindFarm::power_fraction(*w) * 3.0 * 10.0)
+            .collect())
+    });
+    let plume = g.add_task("plume", &[met], |_| {
+        let model = reference_site(24);
+        let m = Meteo { wind_ms: 2.0, wind_dir_rad: 0.0, stability: Stability::E };
+        let (frac, peak) = model.exceedance(&m, 25.0);
+        Ok(vec![frac, peak])
+    });
+    let _sink = g.add_task("report", &[power, plume], |ins| {
+        let peak_power = ins[0].iter().copied().fold(0.0, f64::max);
+        let peak_conc = ins[1][1];
+        Ok(vec![peak_power, peak_conc])
+    });
+
+    let results = g.run(4).expect("pipeline executes");
+    let report = &results[4];
+    assert!(report[0] > 0.0, "farm produces power at some hour");
+    assert!(report[1] > 0.0, "plume model produces concentrations");
+    // Power is bounded by the rated farm output.
+    assert!(report[0] <= 30.0 + 1e-9);
+}
+
+#[test]
+fn failure_in_one_task_aborts_the_workflow() {
+    let mut g: ParallelGraph<f64> = ParallelGraph::new();
+    let a = g.add_task("sensor", &[], |_| Ok(1.0));
+    let b = g.add_task("corrupted-decoder", &[a], |_| Err("bad CRC on FCD chunk".into()));
+    let _ = g.add_task("downstream", &[b], |ins| Ok(*ins[0] * 2.0));
+    let err = g.run(2).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "task 'corrupted-decoder' failed: bad CRC on FCD chunk"
+    );
+}
+
+#[test]
+fn workflow_validation_rejects_broken_pipelines() {
+    let broken = r#"
+        workflow broken {
+            task orphan(ghost) -> out;
+            sink out: "nowhere";
+        }
+    "#;
+    assert!(WorkflowSpec::parse(broken).is_err());
+}
