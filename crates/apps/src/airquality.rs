@@ -44,12 +44,8 @@ impl Stability {
             Stability::D => {
                 (0.08 * x / (1.0 + 0.0001 * x).sqrt(), 0.06 * x / (1.0 + 0.0015 * x).sqrt())
             }
-            Stability::E => {
-                (0.06 * x / (1.0 + 0.0001 * x).sqrt(), 0.03 * x / (1.0 + 0.0003 * x))
-            }
-            Stability::F => {
-                (0.04 * x / (1.0 + 0.0001 * x).sqrt(), 0.016 * x / (1.0 + 0.0003 * x))
-            }
+            Stability::E => (0.06 * x / (1.0 + 0.0001 * x).sqrt(), 0.03 * x / (1.0 + 0.0003 * x)),
+            Stability::F => (0.04 * x / (1.0 + 0.0001 * x).sqrt(), 0.016 * x / (1.0 + 0.0003 * x)),
         }
     }
 }
@@ -132,11 +128,8 @@ impl PlumeModel {
             for gx in 0..self.cells {
                 let rx = (gx as f64 + 0.5) * step;
                 let ry = (gy as f64 + 0.5) * step;
-                let c: f64 = self
-                    .stacks
-                    .iter()
-                    .map(|s| Self::stack_concentration(s, met, rx, ry))
-                    .sum();
+                let c: f64 =
+                    self.stacks.iter().map(|s| Self::stack_concentration(s, met, rx, ry)).sum();
                 grid.set(gx, gy, c);
             }
         }
@@ -205,7 +198,8 @@ mod tests {
     fn stronger_wind_dilutes() {
         let s = Stack { x_m: 0.0, y_m: 0.0, emission_g_s: 100.0, height_m: 10.0 };
         let calm = PlumeModel::stack_concentration(&s, &met(2.0, 0.0, Stability::D), 1_500.0, 0.0);
-        let windy = PlumeModel::stack_concentration(&s, &met(10.0, 0.0, Stability::D), 1_500.0, 0.0);
+        let windy =
+            PlumeModel::stack_concentration(&s, &met(10.0, 0.0, Stability::D), 1_500.0, 0.0);
         assert!(calm > windy);
     }
 

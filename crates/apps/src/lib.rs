@@ -21,6 +21,10 @@
 //!   cases;
 //! * [`synthetic`] — seeded smooth-field and time-series generators.
 
+// Index arithmetic over flat buffers (strided weights, grids, particle
+// arrays) reads better as explicit loops than as iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
 pub mod airquality;
 pub mod micro;
 pub mod mlp;

@@ -50,16 +50,12 @@ impl RingRoad {
     ///
     /// Panics if the vehicles do not fit the ring.
     pub fn new(seed: u64, circumference: f64, vehicles: usize, params: IdmParams) -> RingRoad {
-        assert!(
-            vehicles as f64 * (params.length + params.s0) < circumference,
-            "ring over-packed"
-        );
+        assert!(vehicles as f64 * (params.length + params.s0) < circumference, "ring over-packed");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spacing = circumference / vehicles as f64;
         let positions = (0..vehicles).map(|i| i as f64 * spacing).collect();
-        let speeds = (0..vehicles)
-            .map(|_| (params.v0 * 0.5 + rng.gen_range(-1.0..1.0)).max(0.0))
-            .collect();
+        let speeds =
+            (0..vehicles).map(|_| (params.v0 * 0.5 + rng.gen_range(-1.0..1.0)).max(0.0)).collect();
         RingRoad { circumference, params, positions, speeds }
     }
 
@@ -131,7 +127,12 @@ impl RingRoad {
 
 /// Simulates `seconds` of a ring at the given density and returns
 /// `(mean_speed, speed_std, flow)` after the transient.
-pub fn equilibrium(seed: u64, vehicles: usize, circumference: f64, seconds: f64) -> (f64, f64, f64) {
+pub fn equilibrium(
+    seed: u64,
+    vehicles: usize,
+    circumference: f64,
+    seconds: f64,
+) -> (f64, f64, f64) {
     let mut ring = RingRoad::new(seed, circumference, vehicles, IdmParams::default());
     let dt = 0.25;
     let steps = (seconds / dt) as usize;
@@ -206,10 +207,7 @@ mod tests {
             if gap < 0.0 {
                 gap += ring.circumference;
             }
-            assert!(
-                gap >= ring.params.length * 0.5,
-                "vehicles {i} and {j} overlap: gap {gap}"
-            );
+            assert!(gap >= ring.params.length * 0.5, "vehicles {i} and {j} overlap: gap {gap}");
         }
     }
 

@@ -21,8 +21,7 @@ struct Dense {
 impl Dense {
     fn new(rng: &mut ChaCha8Rng, inputs: usize, outputs: usize, relu: bool) -> Dense {
         let scale = (2.0 / inputs as f64).sqrt();
-        let weights =
-            (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
+        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
         Dense { weights, bias: vec![0.0; outputs], inputs, outputs, relu }
     }
 
@@ -35,11 +34,7 @@ impl Dense {
             }
             pre[o] = acc;
         }
-        let post = if self.relu {
-            pre.iter().map(|v| v.max(0.0)).collect()
-        } else {
-            pre.clone()
-        };
+        let post = if self.relu { pre.iter().map(|v| v.max(0.0)).collect() } else { pre.clone() };
         (pre, post)
     }
 }
@@ -104,11 +99,8 @@ impl Mlp {
             out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / out.len() as f64;
 
         // Backward.
-        let mut grad: Vec<f64> = out
-            .iter()
-            .zip(target)
-            .map(|(o, t)| 2.0 * (o - t) / out.len() as f64)
-            .collect();
+        let mut grad: Vec<f64> =
+            out.iter().zip(target).map(|(o, t)| 2.0 * (o - t) / out.len() as f64).collect();
         for (li, layer) in self.layers.iter_mut().enumerate().rev() {
             // Through the activation.
             if layer.relu {
@@ -138,7 +130,13 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `inputs` and `targets` lengths differ or are empty.
-    pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[Vec<f64>], epochs: usize, lr: f64) -> f64 {
+    pub fn fit(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        epochs: usize,
+        lr: f64,
+    ) -> f64 {
         assert_eq!(inputs.len(), targets.len(), "dataset size mismatch");
         assert!(!inputs.is_empty(), "empty dataset");
         let mut last = f64::INFINITY;
@@ -166,9 +164,8 @@ mod tests {
     #[test]
     fn learns_a_linear_function() {
         let mut net = Mlp::new(1, &[2, 8, 1]);
-        let inputs: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
-            .collect();
+        let inputs: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0]).collect();
         let targets: Vec<Vec<f64>> =
             inputs.iter().map(|x| vec![3.0 * x[0] - 2.0 * x[1] + 0.5]).collect();
         let loss = net.fit(&inputs, &targets, 300, 0.05);

@@ -145,16 +145,9 @@ pub fn seed_particles(seed: u64, n: usize, box_len: f64) -> (AosParticles, SoaPa
     let mut aos = AosParticles::default();
     let mut soa = SoaParticles::default();
     for _ in 0..n {
-        let p = [
-            rng.gen_range(0.0..box_len),
-            rng.gen_range(0.0..box_len),
-            rng.gen_range(0.0..box_len),
-        ];
-        let v = [
-            rng.gen_range(-0.1..0.1),
-            rng.gen_range(-0.1..0.1),
-            rng.gen_range(-0.1..0.1),
-        ];
+        let p =
+            [rng.gen_range(0.0..box_len), rng.gen_range(0.0..box_len), rng.gen_range(0.0..box_len)];
+        let v = [rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)];
         let mass = rng.gen_range(0.5..2.0);
         aos.records.push(Particle { position: p, velocity: v, mass });
         soa.px.push(p[0]);
@@ -201,12 +194,7 @@ impl CellList {
     }
 
     /// All particles within `cutoff` of particle `i` (excluding `i`).
-    pub fn neighbours(
-        &self,
-        storage: &dyn ParticleStorage,
-        i: usize,
-        cutoff: f64,
-    ) -> Vec<usize> {
+    pub fn neighbours(&self, storage: &dyn ParticleStorage, i: usize, cutoff: f64) -> Vec<usize> {
         let p = storage.position(i);
         let c = |x: f64| ((x / self.cell_len) as isize).clamp(0, self.per_edge as isize - 1);
         let (cx, cy, cz) = (c(p[0]), c(p[1]), c(p[2]));
@@ -225,9 +213,9 @@ impl CellList {
                     {
                         continue;
                     }
-                    let cell =
-                        &self.cells[((nz as usize * self.per_edge) + ny as usize) * self.per_edge
-                            + nx as usize];
+                    let cell = &self.cells[((nz as usize * self.per_edge) + ny as usize)
+                        * self.per_edge
+                        + nx as usize];
                     for &j in cell {
                         if j != i && norm2(sub(storage.position(j), p)) <= r2 {
                             out.push(j);
@@ -305,9 +293,7 @@ pub fn total_momentum(storage: &dyn ParticleStorage) -> Vec3 {
 /// Total kinetic energy (½ Σ m·v²) — the streaming sweep the SoA layout
 /// accelerates.
 pub fn kinetic_energy(storage: &dyn ParticleStorage) -> f64 {
-    (0..storage.len())
-        .map(|i| 0.5 * storage.mass(i) * norm2(storage.velocity(i)))
-        .sum()
+    (0..storage.len()).map(|i| 0.5 * storage.mass(i) * norm2(storage.velocity(i))).sum()
 }
 
 /// Runs `steps` simulation steps and returns the final kinetic energy.

@@ -81,12 +81,7 @@ impl Grid2d {
     /// Panics on shape mismatch.
     pub fn rmse(&self, other: &Grid2d) -> f64 {
         assert_eq!((self.nx, self.ny), (other.nx, other.ny), "grid shapes differ");
-        let sum: f64 = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let sum: f64 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum();
         (sum / self.data.len() as f64).sqrt()
     }
 }
@@ -130,7 +125,13 @@ pub fn smooth_field(seed: u64, nx: usize, ny: usize, lo: f64, hi: f64, octaves: 
 
 /// A 24-hour diurnal profile: `base + amplitude * sin(peak-centred)` with
 /// optional seeded jitter, sampled hourly.
-pub fn diurnal_profile(seed: u64, base: f64, amplitude: f64, peak_hour: f64, jitter: f64) -> [f64; 24] {
+pub fn diurnal_profile(
+    seed: u64,
+    base: f64,
+    amplitude: f64,
+    peak_hour: f64,
+    jitter: f64,
+) -> [f64; 24] {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = [0.0; 24];
     for (h, slot) in out.iter_mut().enumerate() {
@@ -209,12 +210,7 @@ mod tests {
     #[test]
     fn diurnal_profile_peaks_near_requested_hour() {
         let p = diurnal_profile(5, 10.0, 4.0, 14.0, 0.0);
-        let peak = p
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(h, _)| h)
-            .unwrap();
+        let peak = p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(h, _)| h).unwrap();
         assert_eq!(peak, 14);
         assert!(p.iter().all(|v| (6.0..=14.0).contains(v)));
     }

@@ -120,8 +120,8 @@ pub struct FcdPoint {
 /// slow traffic down, expressways less than streets.
 fn congestion_factor(hour: usize, capacity: f64) -> f64 {
     let rush = match hour {
-        7 | 8 | 9 => 0.55,
-        16 | 17 | 18 => 0.5,
+        7..=9 => 0.55,
+        16..=18 => 0.5,
         10..=15 => 0.8,
         _ => 0.95,
     };
@@ -511,10 +511,7 @@ mod tests {
         };
         let e10 = mean_abs_err(10);
         let e1000 = mean_abs_err(1_000);
-        assert!(
-            e1000 < e10 / 3.0,
-            "error must shrink roughly as 1/sqrt(N): {e10} -> {e1000}"
-        );
+        assert!(e1000 < e10 / 3.0, "error must shrink roughly as 1/sqrt(N): {e10} -> {e1000}");
     }
 
     #[test]
@@ -542,11 +539,8 @@ mod tests {
         let report = assign_traffic(&net, &profiles, &od, 8, 6);
         assert!(report.total_vehicle_hours > 0.0);
         // Some edge must be loaded beyond free flow.
-        let congested = report
-            .flows
-            .iter()
-            .zip(&net.edges)
-            .any(|(f, e)| *f > 0.5 * e.capacity_veh_h);
+        let congested =
+            report.flows.iter().zip(&net.edges).any(|(f, e)| *f > 0.5 * e.capacity_veh_h);
         assert!(congested, "no congestion with 30 OD pairs at 800 veh/h");
     }
 

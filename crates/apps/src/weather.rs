@@ -70,8 +70,10 @@ fn coarsen(fine: &Grid2d, n: usize) -> Grid2d {
     let fy = fine.ny as f64 / n as f64;
     for cy in 0..n {
         for cx in 0..n {
-            let (x0, x1) = ((cx as f64 * fx) as usize, (((cx + 1) as f64 * fx) as usize).min(fine.nx));
-            let (y0, y1) = ((cy as f64 * fy) as usize, (((cy + 1) as f64 * fy) as usize).min(fine.ny));
+            let (x0, x1) =
+                ((cx as f64 * fx) as usize, (((cx + 1) as f64 * fx) as usize).min(fine.nx));
+            let (y0, y1) =
+                ((cy as f64 * fy) as usize, (((cy + 1) as f64 * fy) as usize).min(fine.ny));
             let mut sum = 0.0;
             let mut count = 0.0;
             for y in y0..y1.max(y0 + 1) {
@@ -102,7 +104,12 @@ impl Ensemble {
     ///
     /// Panics if `resolution_km` is coarser than the whole domain or
     /// `members == 0`.
-    pub fn from_truth(truth: &WindSeries, resolution_km: f64, members: usize, seed: u64) -> Ensemble {
+    pub fn from_truth(
+        truth: &WindSeries,
+        resolution_km: f64,
+        members: usize,
+        seed: u64,
+    ) -> Ensemble {
         assert!(members > 0, "ensemble needs members");
         let domain_km = truth.hourly[0].nx as f64 * truth.resolution_km;
         let n = (domain_km / resolution_km).round().max(1.0) as usize;
@@ -122,9 +129,8 @@ impl Ensemble {
                     let mut c = coarsen(fine, n);
                     for y in 0..c.ny {
                         for x in 0..c.nx {
-                            let noisy = (c.at(x, y) * gain + bias
-                                + rng.gen_range(-0.4..0.4))
-                            .max(0.0);
+                            let noisy =
+                                (c.at(x, y) * gain + bias + rng.gen_range(-0.4..0.4)).max(0.0);
                             c.set(x, y, noisy);
                         }
                     }
@@ -185,7 +191,7 @@ impl WindFarm {
         const CUT_IN: f64 = 3.0;
         const RATED: f64 = 12.0;
         const CUT_OUT: f64 = 25.0;
-        if wind_ms < CUT_IN || wind_ms >= CUT_OUT {
+        if !(CUT_IN..CUT_OUT).contains(&wind_ms) {
             0.0
         } else if wind_ms >= RATED {
             1.0
@@ -222,12 +228,8 @@ impl ForecastReport {
     /// Root-mean-square error in MW.
     pub fn rmse_mw(&self) -> f64 {
         let n = self.predicted_mw.len() as f64;
-        let sum: f64 = self
-            .predicted_mw
-            .iter()
-            .zip(&self.actual_mw)
-            .map(|(p, a)| (p - a) * (p - a))
-            .sum();
+        let sum: f64 =
+            self.predicted_mw.iter().zip(&self.actual_mw).map(|(p, a)| (p - a) * (p - a)).sum();
         (sum / n).sqrt()
     }
 
@@ -311,8 +313,7 @@ pub fn mlp_corrected_forecast(
     let mut net = Mlp::new(seed, &[2, 12, 1]);
     net.fit(&inputs, &targets, 300, 0.03);
 
-    let test =
-        evaluate_resolution(seed + 10_000, domain_km, truth_res, ensemble_res_km, members);
+    let test = evaluate_resolution(seed + 10_000, domain_km, truth_res, ensemble_res_km, members);
     let corrected: Vec<f64> = test
         .predicted_mw
         .iter()

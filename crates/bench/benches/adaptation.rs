@@ -18,9 +18,11 @@ fn bench_adaptation(c: &mut Criterion) {
         Phase { free_luts: 0, ..Phase::calm("c", 50) },
     ];
     let mut group = c.benchmark_group("e2_scenario");
-    for (label, strategy) in
-        [("static", Strategy::Static(0)), ("adaptive", Strategy::Adaptive), ("oracle", Strategy::Oracle)]
-    {
+    for (label, strategy) in [
+        ("static", Strategy::Static(0)),
+        ("adaptive", Strategy::Adaptive),
+        ("oracle", Strategy::Oracle),
+    ] {
         group.bench_with_input(BenchmarkId::new("run", label), &strategy, |b, s| {
             b.iter(|| run_scenario(std::hint::black_box(&points), &phases, *s))
         });
@@ -33,7 +35,7 @@ fn bench_adaptation(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

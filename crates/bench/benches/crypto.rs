@@ -35,10 +35,12 @@ fn bench_crypto(c: &mut Criterion) {
 fn bench_block(c: &mut Criterion) {
     let aes = Aes128::new(&[9u8; 16]);
     let block = [0x42u8; 16];
-    c.bench_function("e8_aes_block", |b| b.iter(|| aes.encrypt_block(std::hint::black_box(&block))));
+    c.bench_function("e8_aes_block", |b| {
+        b.iter(|| aes.encrypt_block(std::hint::black_box(&block)))
+    });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

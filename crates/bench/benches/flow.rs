@@ -41,7 +41,7 @@ fn bench_full_flow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

@@ -9,11 +9,9 @@ fn bench_conflict_analysis(c: &mut Criterion) {
     for banks in [2usize, 8, 32] {
         for scheme in [Scheme::Block, Scheme::Cyclic] {
             let p = Partitioning::new(4096, banks, scheme, 2).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(format!("{scheme}"), banks),
-                &p,
-                |b, p| b.iter(|| p.min_ii(std::hint::black_box(&offsets))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{scheme}"), banks), &p, |b, p| {
+                b.iter(|| p.min_ii(std::hint::black_box(&offsets)))
+            });
         }
     }
     group.finish();
@@ -32,7 +30,7 @@ fn bench_mapping(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

@@ -3,9 +3,7 @@
 //! "layouts of particles as array-of-structures or structure-of-arrays").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use everest::apps::particles::{
-    kinetic_energy, seed_particles, simulate, CellList, ParticleStorage,
-};
+use everest::apps::particles::{kinetic_energy, seed_particles, simulate, CellList};
 
 fn bench_layouts(c: &mut Criterion) {
     let mut group = c.benchmark_group("layout_streaming_sweep");
@@ -42,7 +40,7 @@ fn bench_layouts(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

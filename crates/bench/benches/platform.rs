@@ -26,9 +26,7 @@ fn bench_platform(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("platform_reference_system_build", |b| {
-        b.iter(System::everest_reference)
-    });
+    c.bench_function("platform_reference_system_build", |b| b.iter(System::everest_reference));
 
     c.bench_function("platform_sim_1000_activities", |b| {
         b.iter(|| {
@@ -41,7 +39,7 @@ fn bench_platform(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

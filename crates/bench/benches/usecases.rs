@@ -17,11 +17,8 @@ fn bench_weather(c: &mut Criterion) {
 
 fn bench_airquality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e13_plume");
-    let met = airquality::Meteo {
-        wind_ms: 2.5,
-        wind_dir_rad: 0.35,
-        stability: airquality::Stability::E,
-    };
+    let met =
+        airquality::Meteo { wind_ms: 2.5, wind_dir_rad: 0.35, stability: airquality::Stability::E };
     for cells in [16usize, 48, 96] {
         let model = airquality::reference_site(cells);
         group.bench_with_input(BenchmarkId::new("grid", cells), &model, |b, m| {
@@ -31,7 +28,7 @@ fn bench_airquality(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

@@ -14,11 +14,9 @@ fn bench_scaling(c: &mut Criterion) {
     for g in &graphs {
         for workers in [4usize, 16, 64] {
             let pool = Worker::uniform_pool(workers, 1.0);
-            group.bench_with_input(
-                BenchmarkId::new(g.name.clone(), workers),
-                &pool,
-                |b, pool| b.iter(|| simulate(std::hint::black_box(g), pool, Policy::Heft).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(g.name.clone(), workers), &pool, |b, pool| {
+                b.iter(|| simulate(std::hint::black_box(g), pool, Policy::Heft).unwrap())
+            });
         }
     }
     group.finish();
@@ -36,7 +34,7 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short measurement windows keep the full-workspace bench run within
     // CI budgets; pass your own -- flags for high-precision runs.

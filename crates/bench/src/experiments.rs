@@ -40,7 +40,13 @@ fn section(id: &str, title: &str, body: &str) -> String {
 pub fn e1_compilation_flow() -> String {
     let sdk = Sdk::new();
     let mut t = Table::new(&[
-        "kernel", "IR ops", "loop-nest ops", "variants", "pareto", "best sw us", "best hw us",
+        "kernel",
+        "IR ops",
+        "loop-nest ops",
+        "variants",
+        "pareto",
+        "best sw us",
+        "best hw us",
         "hw energy mJ",
     ]);
     for (name, src) in [("gemm", GEMM), ("smooth", STENCIL), ("activate", SIGMOID)] {
@@ -192,7 +198,12 @@ pub fn e4_attachment_comparison() -> String {
     let udp = Link::udp_datacenter();
     let tcp = Link::tcp_datacenter();
     let mut t = Table::new(&[
-        "transfer", "bus eff GB/s", "udp eff GB/s", "tcp eff GB/s", "1x bus ms", "4x udp ms",
+        "transfer",
+        "bus eff GB/s",
+        "udp eff GB/s",
+        "tcp eff GB/s",
+        "1x bus ms",
+        "4x udp ms",
         "winner",
     ]);
     // A streaming job: each FPGA role processes its stream at 2 GB/s, so a
@@ -237,7 +248,14 @@ pub fn e4_attachment_comparison() -> String {
 pub fn e5_acceleration() -> String {
     let sdk = Sdk::new();
     let mut t = Table::new(&[
-        "kernel", "sw 1t us", "sw 8t us", "hw us", "hw vs 1t", "sw mJ", "hw mJ", "energy gain",
+        "kernel",
+        "sw 1t us",
+        "sw 8t us",
+        "hw us",
+        "hw vs 1t",
+        "sw mJ",
+        "hw mJ",
+        "energy gain",
     ]);
     for (name, src) in [("gemm", GEMM), ("smooth", STENCIL), ("activate", SIGMOID)] {
         let compiled = sdk.compile(src).unwrap();
@@ -348,7 +366,13 @@ pub fn e6_memory_partitioning() -> String {
 /// E7: area/latency overhead of DIFT instrumentation per kernel.
 pub fn e7_dift_overhead() -> String {
     let mut t = Table::new(&[
-        "kernel", "LUTs", "LUTs+DIFT", "overhead %", "cycles", "cycles+DIFT", "shadow kbit",
+        "kernel",
+        "LUTs",
+        "LUTs+DIFT",
+        "overhead %",
+        "cycles",
+        "cycles+DIFT",
+        "shadow kbit",
     ]);
     for (name, src) in [("gemm", GEMM), ("smooth", STENCIL), ("activate", SIGMOID)] {
         let module = everest::dsl::compile_kernels(src).unwrap();
@@ -600,9 +624,7 @@ pub fn e11_ptdr() -> String {
 
 /// E12: forecast skill and compute cost vs ensemble grid resolution.
 pub fn e12_wind_resolution() -> String {
-    let mut t = Table::new(&[
-        "res km", "cells", "RMSE MW", "imbalance EUR/day", "rel. compute",
-    ]);
+    let mut t = Table::new(&["res km", "cells", "RMSE MW", "imbalance EUR/day", "rel. compute"]);
     let mut base_cells = 0.0;
     for res_km in [25.0, 12.0, 6.0, 3.0] {
         let report = weather::evaluate_resolution(42, 100.0, 2.0, res_km, 8);
@@ -642,11 +664,8 @@ pub fn e12_wind_resolution() -> String {
 /// E13: plume-forecast fidelity and latency vs grid resolution on the
 /// 10-km domain.
 pub fn e13_air_quality() -> String {
-    let met = airquality::Meteo {
-        wind_ms: 2.5,
-        wind_dir_rad: 0.35,
-        stability: airquality::Stability::E,
-    };
+    let met =
+        airquality::Meteo { wind_ms: 2.5, wind_dir_rad: 0.35, stability: airquality::Stability::E };
     let mut t = Table::new(&["cells/edge", "peak ug/m3", ">50 ug/m3 %", "ms per hour-step"]);
     for cells in [16usize, 32, 64, 128] {
         let model = airquality::reference_site(cells);
@@ -691,11 +710,7 @@ pub fn e14_failure_migration() -> String {
 
     let mut t = Table::new(&["scenario", "completed %", "makespan ms"]);
     t.row(&["no failure (edge)".into(), "100".into(), f(healthy / 1e3, 1)]);
-    t.row(&[
-        "failure, no adaptation".into(),
-        f(stranded_completion * 100.0, 0),
-        "stalled".into(),
-    ]);
+    t.row(&["failure, no adaptation".into(), f(stranded_completion * 100.0, 0), "stalled".into()]);
     t.row(&["failure + migration (EVEREST)".into(), "100".into(), f(migrated / 1e3, 1)]);
     section(
         "E14",
@@ -835,7 +850,8 @@ mod tests {
     #[test]
     fn e4_bus_wins_small_network_wins_large() {
         let r = e4_attachment_comparison();
-        let lines: Vec<&str> = r.lines().filter(|l| l.contains("KiB") || l.contains("MiB")).collect();
+        let lines: Vec<&str> =
+            r.lines().filter(|l| l.contains("KiB") || l.contains("MiB")).collect();
         assert!(lines.first().unwrap().trim_end().ends_with("bus"));
         assert!(lines.last().unwrap().trim_end().ends_with("network x4"));
     }
@@ -871,11 +887,8 @@ mod tests {
     fn e15_tiling_cuts_amat() {
         let r = e15_cache_tiling();
         // For n=128 the tiled AMAT must be below the untiled one.
-        let rows: Vec<&str> =
-            r.lines().filter(|l| l.trim_start().starts_with("128")).collect();
-        let amat = |row: &str| -> f64 {
-            row.split_whitespace().last().unwrap().parse().unwrap()
-        };
+        let rows: Vec<&str> = r.lines().filter(|l| l.trim_start().starts_with("128")).collect();
+        let amat = |row: &str| -> f64 { row.split_whitespace().last().unwrap().parse().unwrap() };
         assert!(amat(rows[1]) < amat(rows[0]), "tiling must cut AMAT: {rows:?}");
     }
 

@@ -5,27 +5,109 @@
 //! everestc variants <kernels.edsl>       print the variant table per kernel
 //! everestc rtl <kernels.edsl> <kernel>   print the synthesized RTL
 //! everestc workflow <pipeline.ewf>       validate + print a workflow
+//! everestc profile <kernels.edsl>        per-phase timing summary table
 //! ```
+//!
+//! The global `--trace <out.json>` flag records every compiler phase and
+//! writes a Chrome trace-event file loadable in `chrome://tracing` or
+//! Perfetto.
 
 use everest::Sdk;
+use everest_telemetry::export::{chrome_trace_json, flame_summary, spans_to_events};
+use everest_telemetry::Tracer;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  everestc ir <kernels.edsl>\n  everestc variants <kernels.edsl>\n  \
-         everestc rtl <kernels.edsl> <kernel>\n  everestc workflow <pipeline.ewf>"
-    );
-    ExitCode::from(2)
+const USAGE: &str = "usage:
+  everestc [--trace <out.json>] ir <kernels.edsl>
+  everestc [--trace <out.json>] variants <kernels.edsl>
+  everestc [--trace <out.json>] rtl <kernels.edsl> <kernel>
+  everestc [--trace <out.json>] workflow <pipeline.ewf>
+  everestc [--trace <out.json>] profile <kernels.edsl>
+  everestc help | --help | -h
+  everestc --version | -V
+
+options:
+  --trace <out.json>   write a Chrome trace-event JSON file covering the
+                       compiler phases run by the subcommand";
+
+fn usage() -> u8 {
+    eprintln!("{USAGE}");
+    2
+}
+
+/// Extracts the global `--trace <path>` / `--trace=<path>` flag, which is
+/// valid in any position.
+fn extract_trace_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    if let Some(at) = args.iter().position(|a| a == "--trace") {
+        if at + 1 >= args.len() {
+            return Err("--trace requires a file argument".to_owned());
+        }
+        let path = args.remove(at + 1);
+        args.remove(at);
+        return Ok(Some(path));
+    }
+    if let Some(at) = args.iter().position(|a| a.starts_with("--trace=")) {
+        let path = args.remove(at)["--trace=".len()..].to_owned();
+        if path.is_empty() {
+            return Err("--trace requires a file argument".to_owned());
+        }
+        return Ok(Some(path));
+    }
+    Ok(None)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match extract_trace_flag(&mut args) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
-        None => return usage(),
+        None => return ExitCode::from(usage()),
     };
-    match run(cmd, rest) {
-        Ok(code) => code,
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        "--version" | "-V" => {
+            println!("everestc {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+
+    // `profile` always records; `--trace` opts any subcommand in.
+    let recording = trace_path.is_some() || cmd == "profile";
+    if recording {
+        everest_telemetry::install_global(Tracer::recording());
+        everest_telemetry::metrics().reset();
+    }
+
+    let result = run(cmd, rest);
+
+    let spans = everest_telemetry::take_global().finish();
+    if let Some(path) = &trace_path {
+        let json = chrome_trace_json(&spans_to_events(&spans));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write trace '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace: {} spans written to {path}", spans.len());
+    }
+
+    match result {
+        Ok(code) => {
+            if cmd == "profile" && code == 0 {
+                print!("{}", flame_summary(&spans));
+                print_counters();
+            }
+            ExitCode::from(code)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -33,18 +115,30 @@ fn main() -> ExitCode {
     }
 }
 
+fn print_counters() {
+    let snapshot = everest_telemetry::metrics().snapshot();
+    if snapshot.counters.is_empty() {
+        return;
+    }
+    println!();
+    println!("counters:");
+    for counter in &snapshot.counters {
+        println!("  {:<32} {}", counter.name, counter.value);
+    }
+}
+
 fn read(path: &str) -> Result<String, Box<dyn std::error::Error>> {
     Ok(std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?)
 }
 
-fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+fn run(cmd: &str, rest: &[String]) -> Result<u8, Box<dyn std::error::Error>> {
     let sdk = Sdk::new();
     match (cmd, rest) {
         ("ir", [path]) => {
             let source = read(path)?;
             let module = everest::dsl::compile_kernels(&source)?;
             print!("{}", module.to_text());
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         ("variants", [path]) => {
             let source = read(path)?;
@@ -65,7 +159,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 let ids: Vec<&str> = front.iter().map(|v| v.id.as_str()).collect();
                 println!("  pareto: {}", ids.join(", "));
             }
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         ("rtl", [path, kernel]) => {
             let source = read(path)?;
@@ -75,7 +169,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 acc.name, acc.latency_cycles, acc.clock_mhz, acc.innermost_ii, acc.pe, acc.area
             );
             print!("{}", acc.rtl);
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         ("workflow", [path]) => {
             let source = read(path)?;
@@ -89,7 +183,22 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 graph.len(),
                 graph.critical_path_us() / 1e3
             );
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
+        }
+        ("profile", [path]) => {
+            let source = read(path)?;
+            let compiled = sdk.compile(&source)?;
+            let variants: usize = compiled.kernels.iter().map(|k| k.variants.len()).sum();
+            let pareto: usize = compiled.kernels.iter().map(|k| k.pareto_front().len()).sum();
+            println!(
+                "profiled {} kernels: {} variants ({} pareto-optimal)\n",
+                compiled.kernels.len(),
+                variants,
+                pareto
+            );
+            // The flame table is printed by main() after the tracer is
+            // drained, so the compile spans above are all captured.
+            Ok(0)
         }
         _ => Ok(usage()),
     }

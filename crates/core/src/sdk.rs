@@ -103,14 +103,19 @@ impl Sdk {
     ///
     /// Returns [`crate::SdkError`] for DSL, verification or HLS failures.
     pub fn compile(&self, source: &str) -> SdkResult<Compiled> {
+        let mut compile_span = everest_telemetry::span("sdk.compile", "sdk");
         let mut module = compile_kernels(source)?;
         PassManager::standard().run(&mut module)?;
-        module.verify()?;
+        {
+            let _span = everest_telemetry::span("ir.verify", "ir");
+            module.verify()?;
+        }
         let mut kernels = Vec::new();
         for func in module.iter() {
             let variants = everest_variants::generate(func, &self.space)?;
             kernels.push(CompiledKernel { name: func.name.clone(), variants });
         }
+        compile_span.attr("kernels", kernels.len());
         Ok(Compiled { module, kernels })
     }
 
@@ -120,11 +125,19 @@ impl Sdk {
     /// # Errors
     ///
     /// Returns [`crate::SdkError`] for DSL or HLS failures.
-    pub fn synthesize_kernel(&self, source: &str, kernel: &str) -> SdkResult<everest_hls::Accelerator> {
+    pub fn synthesize_kernel(
+        &self,
+        source: &str,
+        kernel: &str,
+    ) -> SdkResult<everest_hls::Accelerator> {
+        let mut sdk_span = everest_telemetry::span("sdk.synthesize_kernel", "sdk");
+        sdk_span.attr("kernel", kernel);
         let module = compile_kernels(source)?;
         let func = module
             .func(kernel)
             .ok_or_else(|| everest_ir::IrError::UnknownSymbol(kernel.to_owned()))?;
+        let mut hls_span = everest_telemetry::span("hls.synthesize", "hls");
+        hls_span.attr("kernel", kernel);
         Ok(synthesize(func, &self.hls)?)
     }
 
@@ -142,13 +155,10 @@ impl Sdk {
         compiled: &Compiled,
     ) -> SdkResult<(everest_dsl::WorkflowSpec, everest_workflow::TaskGraph)> {
         let spec = everest_dsl::WorkflowSpec::parse(source)?;
-        let graph = crate::bridge::task_graph_from_workflow(&spec, |name| {
-            match compiled.kernel(name) {
+        let graph =
+            crate::bridge::task_graph_from_workflow(&spec, |name| match compiled.kernel(name) {
                 Some(kernel) => {
-                    let cost = kernel
-                        .fastest()
-                        .map(|v| v.metrics.total_us())
-                        .unwrap_or(100.0);
+                    let cost = kernel.fastest().map(|v| v.metrics.total_us()).unwrap_or(100.0);
                     let bytes = compiled
                         .module
                         .func(name)
@@ -158,8 +168,7 @@ impl Sdk {
                     (cost, bytes)
                 }
                 None => (100.0, 10_000),
-            }
-        });
+            });
         Ok((spec, graph))
     }
 
@@ -227,10 +236,7 @@ mod tests {
     #[test]
     fn compile_rejects_bad_source() {
         let sdk = Sdk::small();
-        assert!(matches!(
-            sdk.compile("kernel broken(").unwrap_err(),
-            crate::SdkError::Dsl(_)
-        ));
+        assert!(matches!(sdk.compile("kernel broken(").unwrap_err(), crate::SdkError::Dsl(_)));
     }
 
     #[test]
@@ -263,10 +269,7 @@ mod tests {
     fn deploy_to_unknown_node_fails() {
         let sdk = Sdk::small();
         let compiled = sdk.compile(SRC).unwrap();
-        assert!(matches!(
-            sdk.deploy(&compiled, "mars").unwrap_err(),
-            crate::SdkError::Platform(_)
-        ));
+        assert!(matches!(sdk.deploy(&compiled, "mars").unwrap_err(), crate::SdkError::Platform(_)));
     }
 
     #[test]

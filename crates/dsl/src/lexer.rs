@@ -207,16 +207,17 @@ pub fn lex(source: &str) -> DslResult<Vec<SpannedTok>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).expect("ascii ident");
                 toks.push(SpannedTok { tok: Tok::Ident(text.to_owned()), line });
             }
             other => {
-                return Err(DslError::lex(line, format!("unexpected character '{}'", other as char)))
+                return Err(DslError::lex(
+                    line,
+                    format!("unexpected character '{}'", other as char),
+                ))
             }
         }
     }

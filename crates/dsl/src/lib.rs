@@ -49,11 +49,26 @@ use everest_ir::Module;
 /// Returns a [`DslError`] for lexical, syntactic, shape-checking or
 /// lowering failures.
 pub fn compile_kernels(source: &str) -> DslResult<Module> {
-    let program = parser::parse_program(source)?;
-    typecheck::check_program(&program)?;
-    let module = lower::lower_program(&program)?;
-    module
-        .verify()
-        .map_err(|e| DslError::lower(0, format!("lowered module failed verification: {e}")))?;
+    let program = {
+        let mut span = everest_telemetry::span("dsl.parse", "dsl");
+        span.attr("bytes", source.len());
+        let program = parser::parse_program(source)?;
+        span.attr("kernels", program.kernels.len());
+        program
+    };
+    {
+        let _span = everest_telemetry::span("dsl.typecheck", "dsl");
+        typecheck::check_program(&program)?;
+    }
+    let module = {
+        let _span = everest_telemetry::span("dsl.lower", "dsl");
+        lower::lower_program(&program)?
+    };
+    {
+        let _span = everest_telemetry::span("dsl.verify", "dsl");
+        module
+            .verify()
+            .map_err(|e| DslError::lower(0, format!("lowered module failed verification: {e}")))?;
+    }
     Ok(module)
 }

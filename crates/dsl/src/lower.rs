@@ -279,10 +279,9 @@ mod tests {
 
     #[test]
     fn compile_kernels_reports_type_errors() {
-        let err = crate::compile_kernels(
-            "kernel f(x: tensor<4xf32>) -> tensor<4xf32> { return x @ x; }",
-        )
-        .unwrap_err();
+        let err =
+            crate::compile_kernels("kernel f(x: tensor<4xf32>) -> tensor<4xf32> { return x @ x; }")
+                .unwrap_err();
         assert_eq!(err.phase, crate::error::Phase::Type);
     }
 }

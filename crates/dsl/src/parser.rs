@@ -45,11 +45,7 @@ impl P {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(0)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -158,8 +154,7 @@ impl P {
                             match self.bump()? {
                                 Tok::Ident(rest) => {
                                     // e.g. "x8xf64" or "x" alone
-                                    let mut parsed =
-                                        parse_fused_dims(&rest, &mut shape, line)?;
+                                    let mut parsed = parse_fused_dims(&rest, &mut shape, line)?;
                                     if let Some(e) = parsed.take() {
                                         elem = e;
                                         break;
@@ -208,7 +203,9 @@ impl P {
                 self.expect(&Tok::Semi)?;
                 Ok(Stmt::Return { expr, line })
             }
-            other => Err(DslError::parse(line, format!("expected 'var' or 'return', got '{other}'"))),
+            other => {
+                Err(DslError::parse(line, format!("expected 'var' or 'return', got '{other}'")))
+            }
         }
     }
 
@@ -301,7 +298,10 @@ impl P {
                     Tok::Int(v) => v as f64,
                     Tok::Float(v) => v,
                     other => {
-                        return Err(DslError::parse(line, format!("expected number, got {other:?}")))
+                        return Err(DslError::parse(
+                            line,
+                            format!("expected number, got {other:?}"),
+                        ))
                     }
                 };
                 out.push(if neg { -v } else { v });
@@ -325,11 +325,7 @@ fn elem_of(word: &str, line: usize) -> DslResult<ElemTy> {
 
 /// Parses the fused `x8xf64`-style tail of a tensor type. Returns
 /// `Some(elem)` when the element type was reached.
-fn parse_fused_dims(
-    rest: &str,
-    shape: &mut Vec<usize>,
-    line: usize,
-) -> DslResult<Option<ElemTy>> {
+fn parse_fused_dims(rest: &str, shape: &mut Vec<usize>, line: usize) -> DslResult<Option<ElemTy>> {
     let mut s = rest;
     loop {
         let Some(stripped) = s.strip_prefix('x') else {

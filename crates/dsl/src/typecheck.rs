@@ -121,7 +121,10 @@ fn binary_type(
     match op {
         BinOp::MatMul => {
             if lt.shape.len() != 2 || rt.shape.len() != 2 {
-                return Err(DslError::ty(line, format!("'@' requires rank-2 tensors, got {lt} and {rt}")));
+                return Err(DslError::ty(
+                    line,
+                    format!("'@' requires rank-2 tensors, got {lt} and {rt}"),
+                ));
             }
             if lt.elem != rt.elem {
                 return Err(DslError::ty(line, format!("'@' element types differ: {lt} vs {rt}")));
@@ -138,8 +141,9 @@ fn binary_type(
             if !lt.is_scalar() || !rt.is_scalar() {
                 return Err(DslError::ty(line, "'/' is only defined on scalars"));
             }
-            let elem = unify_elem(lt.elem, l_lit, rt.elem, r_lit)
-                .ok_or_else(|| DslError::ty(line, format!("'/' element types differ: {lt} vs {rt}")))?;
+            let elem = unify_elem(lt.elem, l_lit, rt.elem, r_lit).ok_or_else(|| {
+                DslError::ty(line, format!("'/' element types differ: {lt} vs {rt}"))
+            })?;
             Ok(TensorTy::scalar(elem))
         }
         BinOp::Add | BinOp::Sub | BinOp::Mul => {
@@ -203,8 +207,8 @@ fn call_type(
     match name {
         "transpose" => {
             let t = need_one_tensor(args)?;
-            let perm = list
-                .ok_or_else(|| DslError::ty(line, "'transpose' needs a permutation list"))?;
+            let perm =
+                list.ok_or_else(|| DslError::ty(line, "'transpose' needs a permutation list"))?;
             let perm: Vec<usize> = perm.iter().map(|p| *p as usize).collect();
             if perm.len() != t.shape.len() {
                 return Err(DslError::ty(line, "permutation rank mismatch"));
@@ -218,8 +222,8 @@ fn call_type(
         }
         "reduce_sum" | "reduce_max" | "reduce_min" | "reduce_mean" => {
             let t = need_one_tensor(args)?;
-            let dims = list
-                .ok_or_else(|| DslError::ty(line, format!("'{name}' needs a dimension list")))?;
+            let dims =
+                list.ok_or_else(|| DslError::ty(line, format!("'{name}' needs a dimension list")))?;
             let dims: Vec<usize> = dims.iter().map(|d| *d as usize).collect();
             for d in &dims {
                 if *d >= t.shape.len() {

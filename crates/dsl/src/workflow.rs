@@ -70,10 +70,13 @@ impl WorkflowSpec {
     /// assert_eq!(spec.steps.len(), 3);
     /// ```
     pub fn parse(source: &str) -> DslResult<WorkflowSpec> {
+        let mut span = everest_telemetry::span("dsl.workflow.parse", "dsl");
+        span.attr("bytes", source.len());
         let toks = lex(source)?;
         let mut p = WfParser { toks, pos: 0 };
         let spec = p.workflow()?;
         spec.validate()?;
+        span.attr("steps", spec.steps.len());
         Ok(spec)
     }
 
@@ -109,7 +112,10 @@ impl WorkflowSpec {
                 }
                 WorkflowStep::Sink { name, .. } => {
                     if !produced.contains_key(name.as_str()) {
-                        return Err(DslError::ty(0, format!("sink consumes undefined item '{name}'")));
+                        return Err(DslError::ty(
+                            0,
+                            format!("sink consumes undefined item '{name}'"),
+                        ));
                     }
                 }
             }
@@ -160,6 +166,8 @@ impl WorkflowSpec {
     /// Returns a [`DslError`] if the spec is inconsistent (see
     /// [`WorkflowSpec::validate`]).
     pub fn to_ir(&self) -> DslResult<Module> {
+        let mut span = everest_telemetry::span("dsl.workflow.lower", "dsl");
+        span.attr("steps", self.steps.len());
         self.validate()?;
         let mut module = Module::new(self.name.clone());
         let mut fb = FuncBuilder::new(self.name.clone(), &[], &[]);
@@ -202,11 +210,7 @@ struct WfParser {
 
 impl WfParser {
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(0)
     }
 
     fn bump(&mut self) -> DslResult<Tok> {
@@ -348,8 +352,8 @@ mod tests {
 
     #[test]
     fn rejects_undefined_input() {
-        let err =
-            WorkflowSpec::parse("workflow w { task t(ghost) -> out; sink out: \"o\"; }").unwrap_err();
+        let err = WorkflowSpec::parse("workflow w { task t(ghost) -> out; sink out: \"o\"; }")
+            .unwrap_err();
         assert!(err.to_string().contains("undefined item 'ghost'"));
     }
 

@@ -126,10 +126,8 @@ pub fn synthesize(func: &Func, config: &HlsConfig) -> HlsResult<Accelerator> {
     };
 
     let mut stats = Stats { innermost_ii: 1, ..Stats::default() };
-    let entry = func
-        .body
-        .entry()
-        .ok_or_else(|| HlsError::Lower("function has no entry block".into()))?;
+    let entry =
+        func.body.entry().ok_or_else(|| HlsError::Lower("function has no entry block".into()))?;
     let (latency, dfg, schedule) = block_latency(func, entry, config, &mut stats)?;
     let binding = bind(&dfg, &schedule);
     let top_area = binding.area();
@@ -147,7 +145,8 @@ pub fn synthesize(func: &Func, config: &HlsConfig) -> HlsResult<Accelerator> {
             let elems = ty.num_elements().unwrap_or(0);
             buffer_elems += elems as u64;
             let banks = config.banks.min(elems.max(1));
-            if let Ok(p) = Partitioning::new(elems.max(1), banks, config.scheme, config.ports_per_bank)
+            if let Ok(p) =
+                Partitioning::new(elems.max(1), banks, config.scheme, config.ports_per_bank)
             {
                 buffer_area += p.area();
             }
@@ -266,8 +265,7 @@ fn block_latency(
             }
             report.loop_latency(trips)
         } else {
-            let (body_latency, body_dfg, body_schedule) =
-                block_latency(func, body, config, stats)?;
+            let (body_latency, body_dfg, body_schedule) = block_latency(func, body, config, stats)?;
             let b = bind(&body_dfg, &body_schedule);
             let a = b.area();
             if a.luts > stats.peak_area.luts {
@@ -317,7 +315,9 @@ fn memory_mii(func: &Func, body: &Block, config: &HlsConfig) -> u64 {
                         let (a, b) = (op.operands[0], op.operands[1]);
                         let const_side = |x: Value, ops: &[everest_ir::Op]| {
                             ops.iter()
-                                .find(|o| o.results.first() == Some(&x) && o.name == "arith.constant")
+                                .find(|o| {
+                                    o.results.first() == Some(&x) && o.name == "arith.constant"
+                                })
                                 .and_then(|o| o.attr("value").and_then(Attr::as_int))
                         };
                         if Some(a) == iv {
@@ -422,10 +422,7 @@ mod tests {
 
     #[test]
     fn pipelining_reduces_latency() {
-        let f = kernel(
-            "kernel r(a: tensor<256xf64>) -> tensor<256xf64> { return relu(a); }",
-            "r",
-        );
+        let f = kernel("kernel r(a: tensor<256xf64>) -> tensor<256xf64> { return relu(a); }", "r");
         let on = synthesize(&f, &HlsConfig::default()).unwrap();
         let off = synthesize(&f, &HlsConfig { pipeline: false, ..HlsConfig::default() }).unwrap();
         assert!(
@@ -442,8 +439,10 @@ mod tests {
             "kernel s(a: tensor<64xf64>) -> tensor<64xf64> { return stencil(a, [0.2, 0.6, 0.2]); }",
             "s",
         );
-        let small = HlsConfig { budget: ResourceBudget::uniform(1), banks: 8, ..HlsConfig::default() };
-        let large = HlsConfig { budget: ResourceBudget::uniform(8), banks: 8, ..HlsConfig::default() };
+        let small =
+            HlsConfig { budget: ResourceBudget::uniform(1), banks: 8, ..HlsConfig::default() };
+        let large =
+            HlsConfig { budget: ResourceBudget::uniform(8), banks: 8, ..HlsConfig::default() };
         let a1 = synthesize(&f, &small).unwrap();
         let a2 = synthesize(&f, &large).unwrap();
         assert!(a2.latency_cycles <= a1.latency_cycles);
@@ -451,10 +450,7 @@ mod tests {
 
     #[test]
     fn dift_adds_area_and_latency() {
-        let f = kernel(
-            "kernel g(a: tensor<32xf64>) -> tensor<32xf64> { return sigmoid(a); }",
-            "g",
-        );
+        let f = kernel("kernel g(a: tensor<32xf64>) -> tensor<32xf64> { return sigmoid(a); }", "g");
         let plain = synthesize(&f, &HlsConfig::default()).unwrap();
         let dift = synthesize(
             &f,
@@ -497,10 +493,7 @@ mod tests {
 
     #[test]
     fn pe_count_capped_by_memory_system() {
-        let f = kernel(
-            "kernel r(a: tensor<64xf64>) -> tensor<64xf64> { return relu(a); }",
-            "r",
-        );
+        let f = kernel("kernel r(a: tensor<64xf64>) -> tensor<64xf64> { return relu(a); }", "r");
         let config = HlsConfig { pe: 64, banks: 2, ports_per_bank: 1, ..HlsConfig::default() };
         let acc = synthesize(&f, &config).unwrap();
         assert_eq!(acc.pe, 2, "PEs beyond the memory ports are wasted");
@@ -517,10 +510,7 @@ mod tests {
 
     #[test]
     fn fdiv_budget_error_propagates() {
-        let f = kernel(
-            "kernel g(a: tensor<8xf64>) -> tensor<8xf64> { return sigmoid(a); }",
-            "g",
-        );
+        let f = kernel("kernel g(a: tensor<8xf64>) -> tensor<8xf64> { return sigmoid(a); }", "g");
         let config = HlsConfig {
             budget: ResourceBudget::default().with(FuKind::FDiv, 0),
             ..HlsConfig::default()

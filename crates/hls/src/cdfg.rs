@@ -77,8 +77,8 @@ impl Dfg {
         let op_count = block.ops.len();
         let mut terminator_operands = Vec::new();
         for (pos, op) in block.ops.iter().enumerate() {
-            let is_terminator = pos + 1 == op_count
-                && everest_ir::registry::is_terminator(&op.name);
+            let is_terminator =
+                pos + 1 == op_count && everest_ir::registry::is_terminator(&op.name);
             if is_terminator {
                 terminator_operands = op.operands.clone();
                 break;
@@ -206,8 +206,7 @@ impl Dfg {
         let mut finish = vec![0u64; self.nodes.len()];
         let mut longest = 0;
         for (id, node) in self.nodes.iter().enumerate() {
-            let start =
-                node.preds.iter().map(|p| finish[*p]).max().unwrap_or(0);
+            let start = node.preds.iter().map(|p| finish[*p]).max().unwrap_or(0);
             finish[id] = start + node.latency;
             longest = longest.max(finish[id]);
         }

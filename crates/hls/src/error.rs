@@ -41,7 +41,10 @@ mod tests {
             HlsError::Unsupported("cf.br".into()).to_string(),
             "unsupported construct: cf.br"
         );
-        assert_eq!(HlsError::Config("0 banks".into()).to_string(), "invalid configuration: 0 banks");
+        assert_eq!(
+            HlsError::Config("0 banks".into()).to_string(),
+            "invalid configuration: 0 banks"
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl Partitioning {
     ///
     /// Returns [`HlsError::Config`] if `banks` or `ports_per_bank` is zero,
     /// or `banks > size`.
-    pub fn new(size: usize, banks: usize, scheme: Scheme, ports_per_bank: usize) -> HlsResult<Partitioning> {
+    pub fn new(
+        size: usize,
+        banks: usize,
+        scheme: Scheme,
+        ports_per_bank: usize,
+    ) -> HlsResult<Partitioning> {
         if banks == 0 {
             return Err(HlsError::Config("partitioning needs at least one bank".into()));
         }
@@ -135,7 +140,12 @@ impl Partitioning {
     pub fn area(&self) -> AreaReport {
         let bits_per_bank = self.bank_depth() as u64 * 64;
         let brams_per_bank = bits_per_bank.div_ceil(18 * 1024).max(1);
-        AreaReport { luts: 20 * self.banks as u64, ffs: 10 * self.banks as u64, dsps: 0, brams: brams_per_bank * self.banks as u64 }
+        AreaReport {
+            luts: 20 * self.banks as u64,
+            ffs: 10 * self.banks as u64,
+            dsps: 0,
+            brams: brams_per_bank * self.banks as u64,
+        }
     }
 }
 

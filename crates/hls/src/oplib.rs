@@ -98,8 +98,9 @@ impl fmt::Display for FuKind {
 /// yields and structured ops handled elsewhere).
 pub fn fu_for_op(name: &str) -> Option<FuKind> {
     Some(match name {
-        "arith.addf" | "arith.subf" | "arith.maxf" | "arith.minf" | "arith.negf"
-        | "arith.cmpf" => FuKind::FAdd,
+        "arith.addf" | "arith.subf" | "arith.maxf" | "arith.minf" | "arith.negf" | "arith.cmpf" => {
+            FuKind::FAdd
+        }
         "arith.mulf" => FuKind::FMul,
         "arith.divf" => FuKind::FDiv,
         "arith.sqrtf" => FuKind::FSqrt,
@@ -173,11 +174,7 @@ impl AddAssign for AreaReport {
 
 impl fmt::Display for AreaReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} LUT, {} FF, {} DSP, {} BRAM",
-            self.luts, self.ffs, self.dsps, self.brams
-        )
+        write!(f, "{} LUT, {} FF, {} DSP, {} BRAM", self.luts, self.ffs, self.dsps, self.brams)
     }
 }
 

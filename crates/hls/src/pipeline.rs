@@ -120,10 +120,7 @@ fn recurrence_mii(dfg: &Dfg) -> u64 {
 /// `true` when every node participating in the loop-carried recurrence is
 /// an associative accumulation (so partial-sum splitting is legal).
 fn recurrence_is_associative(dfg: &Dfg) -> bool {
-    dfg.nodes
-        .iter()
-        .filter(|n| n.uses_carried)
-        .all(|n| ASSOCIATIVE.contains(&n.name.as_str()))
+    dfg.nodes.iter().filter(|n| n.uses_carried).all(|n| ASSOCIATIVE.contains(&n.name.as_str()))
 }
 
 #[cfg(test)]
@@ -132,7 +129,14 @@ mod tests {
     use everest_ir::{FuncBuilder, Type};
     use std::collections::HashMap;
 
-    fn body_dfg(build: impl FnOnce(&mut FuncBuilder, everest_ir::Value, &[everest_ir::Value]) -> Vec<everest_ir::Value>, carried: usize) -> Dfg {
+    fn body_dfg(
+        build: impl FnOnce(
+            &mut FuncBuilder,
+            everest_ir::Value,
+            &[everest_ir::Value],
+        ) -> Vec<everest_ir::Value>,
+        carried: usize,
+    ) -> Dfg {
         let mut fb = FuncBuilder::new("f", &[], &[]);
         let inits: Vec<_> = (0..carried).map(|_| fb.const_f(0.0, Type::F64)).collect();
         fb.for_loop(0, 16, 1, &inits, build);

@@ -73,12 +73,7 @@ pub fn asap(dfg: &Dfg) -> Schedule {
     let mut start = vec![0u64; dfg.len()];
     let mut len = 0;
     for (id, node) in dfg.nodes.iter().enumerate() {
-        let s = node
-            .preds
-            .iter()
-            .map(|p| start[*p] + dfg.nodes[*p].latency)
-            .max()
-            .unwrap_or(0);
+        let s = node.preds.iter().map(|p| start[*p] + dfg.nodes[*p].latency).max().unwrap_or(0);
         start[id] = s;
         len = len.max(s + node.latency);
     }
@@ -94,12 +89,7 @@ pub fn alap(dfg: &Dfg, deadline: u64) -> Schedule {
     assert!(deadline >= dfg.critical_path(), "deadline below critical path");
     let mut start = vec![0u64; dfg.len()];
     for (id, node) in dfg.nodes.iter().enumerate().rev() {
-        let latest_finish = node
-            .succs
-            .iter()
-            .map(|s| start[*s])
-            .min()
-            .unwrap_or(deadline);
+        let latest_finish = node.succs.iter().map(|s| start[*s]).min().unwrap_or(deadline);
         start[id] = latest_finish - node.latency;
     }
     Schedule { start, len: deadline }
@@ -302,8 +292,8 @@ mod tests {
     #[test]
     fn zero_budget_is_an_error() {
         let dfg = parallel_muls(2);
-        let err = list_schedule(&dfg, &ResourceBudget::default().with(FuKind::FMul, 0))
-            .unwrap_err();
+        let err =
+            list_schedule(&dfg, &ResourceBudget::default().with(FuKind::FMul, 0)).unwrap_err();
         assert!(err.to_string().contains("fmul"));
     }
 

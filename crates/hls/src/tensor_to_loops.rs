@@ -26,10 +26,8 @@ use std::collections::HashMap;
 /// Returns [`HlsError::Unsupported`] for ops outside the supported tensor
 /// subset and [`HlsError::Lower`] for structural problems.
 pub fn lower_to_loops(func: &Func) -> HlsResult<Func> {
-    let entry = func
-        .body
-        .entry()
-        .ok_or_else(|| HlsError::Lower("function has no entry block".into()))?;
+    let entry =
+        func.body.entry().ok_or_else(|| HlsError::Lower("function has no entry block".into()))?;
 
     // The value returned by the kernel (written into the out-parameter).
     let ret_op = entry
@@ -518,16 +516,24 @@ fn reduce_nest(
     let kept2 = kept.to_vec();
     let kept_idx2 = kept_idx.to_vec();
     let mut red_idx2 = std::mem::take(red_idx);
-    let out = fb.for_loop(0, dim as i64, 1, &[acc_in], |fb, iv, carried| {
+    fb.for_loop(0, dim as i64, 1, &[acc_in], |fb, iv, carried| {
         red_idx2.push(iv);
         let r = reduce_nest(
-            fb, src, &rest2, &dims2, &kept2, &kept_idx2, &mut red_idx2, carried[0], &combine2,
-            &elem2, rank,
+            fb,
+            src,
+            &rest2,
+            &dims2,
+            &kept2,
+            &kept_idx2,
+            &mut red_idx2,
+            carried[0],
+            &combine2,
+            &elem2,
+            rank,
         );
         red_idx2.pop();
         vec![r]
-    })[0];
-    out
+    })[0]
 }
 
 #[cfg(test)]
@@ -628,20 +634,15 @@ mod tests {
 
     #[test]
     fn sigmoid_lowers_to_exp_chain() {
-        let f = lower(
-            "kernel g(a: tensor<8xf64>) -> tensor<8xf64> { return sigmoid(a); }",
-            "g",
-        );
+        let f = lower("kernel g(a: tensor<8xf64>) -> tensor<8xf64> { return sigmoid(a); }", "g");
         assert_eq!(count_ops(&f, "arith.expf"), 1);
         assert_eq!(count_ops(&f, "arith.divf"), 1);
     }
 
     #[test]
     fn scalar_params_stay_scalar() {
-        let f = lower(
-            "kernel sc(a: tensor<8xf64>, k: f64) -> tensor<8xf64> { return k * a; }",
-            "sc",
-        );
+        let f =
+            lower("kernel sc(a: tensor<8xf64>, k: f64) -> tensor<8xf64> { return k * a; }", "sc");
         assert_eq!(f.params[1], Type::F64);
         assert_eq!(count_ops(&f, "arith.mulf"), 1);
     }
@@ -665,8 +666,11 @@ mod tests {
             "kernel c(x: tensor<16x16xf64>, k: tensor<3x3xf64>) -> tensor<16x16xf64> { return conv2d(x, k); }",
         )
         .unwrap();
-        let acc = crate::accel::synthesize(module.func("c").unwrap(), &crate::accel::HlsConfig::default())
-            .unwrap();
+        let acc = crate::accel::synthesize(
+            module.func("c").unwrap(),
+            &crate::accel::HlsConfig::default(),
+        )
+        .unwrap();
         assert!(acc.latency_cycles > 0);
         assert!(acc.area.luts > 0);
     }

@@ -152,15 +152,9 @@ fn conv2d_lowering_is_exact() {
 
 #[test]
 fn activations_lowering_is_exact() {
-    let f = compile(
-        "kernel a(x: tensor<11xf64>) -> tensor<11xf64> { return relu(x); }",
-        "a",
-    );
+    let f = compile("kernel a(x: tensor<11xf64>) -> tensor<11xf64> { return relu(x); }", "a");
     assert_lowering_preserves(&f, 10);
-    let g = compile(
-        "kernel a(x: tensor<11xf64>) -> tensor<11xf64> { return sigmoid(x); }",
-        "a",
-    );
+    let g = compile("kernel a(x: tensor<11xf64>) -> tensor<11xf64> { return sigmoid(x); }", "a");
     assert_lowering_preserves(&g, 11);
 }
 
@@ -206,7 +200,7 @@ proptest! {
         radius in 1usize..3,
         seed in any::<u64>(),
     ) {
-        prop_assume!(len >= 2 * radius + 1);
+        prop_assume!(len > 2 * radius);
         let weights: Vec<String> =
             (0..2 * radius + 1).map(|i| format!("0.{}", i + 1)).collect();
         let src = format!(

@@ -114,8 +114,7 @@ impl FuncBuilder {
     /// Emits a `mem.store` of `value` into `buf` at `indices`.
     pub fn store(&mut self, value: Value, buf: Value, indices: &[Value]) {
         let mut op = Op::new("mem.store");
-        op.operands =
-            [value, buf].iter().copied().chain(indices.iter().copied()).collect();
+        op.operands = [value, buf].iter().copied().chain(indices.iter().copied()).collect();
         self.push_op(op);
     }
 
@@ -158,10 +157,8 @@ impl FuncBuilder {
         self.push_op(yield_op);
         let block = self.stack.pop().expect("loop body block is open");
 
-        let mut op = Op::new("loop.for")
-            .with_attr("lo", lo)
-            .with_attr("hi", hi)
-            .with_attr("step", step);
+        let mut op =
+            Op::new("loop.for").with_attr("lo", lo).with_attr("hi", hi).with_attr("step", step);
         op.operands = inits.to_vec();
         op.regions = vec![Region { blocks: vec![block] }];
         let result_types: Vec<Type> =

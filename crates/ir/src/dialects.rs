@@ -81,10 +81,8 @@ pub mod tensor {
     /// Emits a 5-point (or generic odd-width) `tensor.stencil` with weights.
     pub fn stencil(fb: &mut FuncBuilder, a: Value, weights: &[f64]) -> Value {
         let ty = fb.value_type(a).clone();
-        let mut op = Op::new("tensor.stencil").with_attr(
-            "weights",
-            Attr::Array(weights.iter().map(|w| Attr::Float(*w)).collect()),
-        );
+        let mut op = Op::new("tensor.stencil")
+            .with_attr("weights", Attr::Array(weights.iter().map(|w| Attr::Float(*w)).collect()));
         op.operands = vec![a];
         fb.op1(op, ty)
     }
@@ -234,7 +232,7 @@ mod tests {
         let t = Type::tensor(Type::F32, &[16]);
         let mut fb = FuncBuilder::new("wf", &[], &[]);
         let src = df::source(&mut fb, "sensors", t.clone());
-        let out = df::task(&mut fb, "clean", &[src], &[t.clone()]);
+        let out = df::task(&mut fb, "clean", &[src], std::slice::from_ref(&t));
         let pred = df::task(&mut fb, "predict", &[out[0]], &[t]);
         df::sink(&mut fb, "dashboard", &[pred[0]]);
         fb.ret(&[]);

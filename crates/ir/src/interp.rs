@@ -9,7 +9,6 @@
 use crate::attr::Attr;
 use crate::error::{IrError, IrResult};
 use crate::ir::{Block, Func, Module, Op, Value};
-use crate::types::Type;
 use std::collections::HashMap;
 
 /// A runtime value.
@@ -117,10 +116,8 @@ impl<'m> Interp<'m> {
                 args.len()
             )));
         }
-        let entry = func
-            .body
-            .entry()
-            .ok_or_else(|| IrError::Pass("function has no entry block".into()))?;
+        let entry =
+            func.body.entry().ok_or_else(|| IrError::Pass("function has no entry block".into()))?;
         let mut env: HashMap<Value, RtValue> = HashMap::new();
         for (arg, value) in entry.args.iter().zip(args) {
             env.insert(*arg, value.clone());
@@ -166,9 +163,7 @@ impl<'m> Interp<'m> {
     }
 
     fn get(&self, env: &HashMap<Value, RtValue>, v: Value) -> IrResult<RtValue> {
-        env.get(&v)
-            .cloned()
-            .ok_or_else(|| IrError::Pass(format!("value {v} not bound at runtime")))
+        env.get(&v).cloned().ok_or_else(|| IrError::Pass(format!("value {v} not bound at runtime")))
     }
 
     fn eval_op(
@@ -271,10 +266,8 @@ impl<'m> Interp<'m> {
             }
             "mem.alloc" => {
                 let ty = func.value_type(op.results[0]);
-                let shape = ty
-                    .shape()
-                    .ok_or_else(|| IrError::Pass("alloc of non-memref".into()))?
-                    .to_vec();
+                let shape =
+                    ty.shape().ok_or_else(|| IrError::Pass("alloc of non-memref".into()))?.to_vec();
                 let size = shape.iter().product();
                 Ok(vec![self.alloc_buffer(&shape, vec![0.0; size])])
             }
@@ -544,6 +537,7 @@ mod tests {
     use super::*;
     use crate::builder::FuncBuilder;
     use crate::dialects::tensor as tdl;
+    use crate::types::Type;
 
     #[test]
     fn scalar_arithmetic_evaluates() {
@@ -587,8 +581,7 @@ mod tests {
     #[test]
     fn transpose_and_reduce_compose() {
         let a_ty = Type::tensor(Type::F64, &[2, 3]);
-        let mut fb =
-            FuncBuilder::new("f", &[a_ty], &[Type::tensor(Type::F64, &[3])]);
+        let mut fb = FuncBuilder::new("f", &[a_ty], &[Type::tensor(Type::F64, &[3])]);
         let x = fb.arg(0);
         let t = tdl::transpose(&mut fb, x, &[1, 0]); // 3x2
         let r = tdl::reduce(&mut fb, t, &[1], "sum"); // sum rows -> [3]
@@ -617,7 +610,7 @@ mod tests {
         let f = fb.finish();
         let mut interp = Interp::new();
         let handle = interp.alloc_buffer(&[4], vec![1.0, 2.0, 3.0, 4.0]);
-        interp.call(&f, &[handle.clone()]).unwrap();
+        interp.call(&f, std::slice::from_ref(&handle)).unwrap();
         assert_eq!(interp.buffer(&handle), &[2.0, 4.0, 6.0, 8.0]);
     }
 

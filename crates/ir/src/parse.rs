@@ -198,9 +198,7 @@ impl<'a> Parser<'a> {
                             .map_err(|_| self.err("bad unicode escape"))?;
                         let cp = u32::from_str_radix(hex, 16)
                             .map_err(|_| self.err("bad unicode escape"))?;
-                        out.push(
-                            char::from_u32(cp).ok_or_else(|| self.err("bad unicode escape"))?,
-                        );
+                        out.push(char::from_u32(cp).ok_or_else(|| self.err("bad unicode escape"))?);
                         self.expect("}")?;
                     }
                     _ => return Err(self.err("unknown escape")),
@@ -344,9 +342,7 @@ impl<'a> Parser<'a> {
                 let text = std::str::from_utf8(&self.src[start..self.pos])
                     .map_err(|_| self.err("bad number"))?;
                 if is_float {
-                    text.parse::<f64>()
-                        .map(Attr::Float)
-                        .map_err(|_| self.err("bad float literal"))
+                    text.parse::<f64>().map(Attr::Float).map_err(|_| self.err("bad float literal"))
                 } else {
                     text.parse::<i64>().map(Attr::Int).map_err(|_| self.err("bad int literal"))
                 }
@@ -431,13 +427,10 @@ impl<'a> Parser<'a> {
         if self.eat("attrs") {
             func_attrs = self.attr_dict()?;
         }
-        let mut ctx = FuncCtx {
-            func: Func::new(name, &param_types, &result_types),
-            names: HashMap::new(),
-        };
-        for (pname, arg) in param_names
-            .iter()
-            .zip(ctx.func.body.entry().expect("fresh func entry").args.clone())
+        let mut ctx =
+            FuncCtx { func: Func::new(name, &param_types, &result_types), names: HashMap::new() };
+        for (pname, arg) in
+            param_names.iter().zip(ctx.func.body.entry().expect("fresh func entry").args.clone())
         {
             ctx.names.insert(pname.clone(), arg);
         }
@@ -540,10 +533,8 @@ impl<'a> Parser<'a> {
         // Simpler: canonical printing always emits `: types` at end-of-line,
         // but regions come before. We pre-allocate with a placeholder type
         // and fix it up after reading the trailing types.
-        let results: Vec<Value> = result_names
-            .iter()
-            .map(|n| ctx.define(n.clone(), Type::Token))
-            .collect();
+        let results: Vec<Value> =
+            result_names.iter().map(|n| ctx.define(n.clone(), Type::Token)).collect();
         op.results = results.clone();
         // Regions.
         if self.peek_is("(") {
@@ -636,7 +627,7 @@ mod tests {
     #[test]
     fn round_trips_shaped_types_and_attrs() {
         let t = Type::tensor(Type::F32, &[8, 16]);
-        let mut fb = FuncBuilder::new("t", &[t.clone(), t.clone()], &[t.clone()]);
+        let mut fb = FuncBuilder::new("t", &[t.clone(), t.clone()], std::slice::from_ref(&t));
         fb.set_func_attr("target", "fpga");
         let mut op = crate::ir::Op::new("tensor.add");
         op.operands = vec![fb.arg(0), fb.arg(1)];

@@ -70,9 +70,17 @@ impl PassManager {
     ///
     /// Propagates the first pass failure.
     pub fn run(&self, module: &mut Module) -> IrResult<bool> {
+        let mut pipeline = everest_telemetry::span("ir.pipeline", "ir");
+        pipeline.attr("passes", self.passes.len());
         let mut changed = false;
         for pass in &self.passes {
-            changed |= pass.run(module)?;
+            let mut span = everest_telemetry::span(pass.name(), "ir.pass");
+            let pass_changed = pass.run(module)?;
+            span.attr("changed", pass_changed);
+            if pass_changed {
+                everest_telemetry::metrics().counter_inc("ir.pass.changed");
+            }
+            changed |= pass_changed;
         }
         Ok(changed)
     }
@@ -376,12 +384,27 @@ impl Pass for Canonicalize {
     }
 
     fn run(&self, module: &mut Module) -> IrResult<bool> {
+        type FuncPass = fn(&mut Func) -> bool;
+        const STEPS: [(&str, &str, FuncPass); 3] = [
+            ("fold", "ir.pass.changed.fold", fold_func),
+            ("cse", "ir.pass.changed.cse", cse_func),
+            ("dce", "ir.pass.changed.dce", dce_func),
+        ];
         let mut any = false;
-        for _ in 0..self.max_iters {
+        for iter in 0..self.max_iters {
+            let mut iter_span = everest_telemetry::span("canonicalize.iter", "ir.pass");
+            iter_span.attr("iteration", iter);
             let mut changed = false;
-            changed |= for_each_func(module, fold_func);
-            changed |= for_each_func(module, cse_func);
-            changed |= for_each_func(module, dce_func);
+            for (name, counter, func_pass) in STEPS {
+                let mut span = everest_telemetry::span(name, "ir.pass");
+                let step_changed = for_each_func(module, func_pass);
+                span.attr("changed", step_changed);
+                if step_changed {
+                    everest_telemetry::metrics().counter_inc(counter);
+                }
+                changed |= step_changed;
+            }
+            iter_span.attr("changed", changed);
             if !changed {
                 break;
             }

@@ -214,9 +214,8 @@ mod tests {
     #[test]
     fn attrs_print_deterministically() {
         let mut fb = FuncBuilder::new("f", &[], &[]);
-        let op = crate::ir::Op::new("df.source")
-            .with_attr("kind", "sensor")
-            .with_attr("arity", 2i64);
+        let op =
+            crate::ir::Op::new("df.source").with_attr("kind", "sensor").with_attr("arity", 2i64);
         fb.op(op, &[Type::Token]);
         fb.ret(&[]);
         let mut m = Module::new("m");

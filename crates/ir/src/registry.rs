@@ -96,7 +96,15 @@ pub static OP_SPECS: &[OpSpec] = &[
     spec("func.call", Arity::Any, Arity::Any, false, false, &["callee"], 0),
     // --- cf: unstructured control flow ----------------------------------
     spec("cf.br", Arity::Any, Arity::Exact(0), false, true, &["dest"], 0),
-    spec("cf.cond_br", Arity::Exact(1), Arity::Exact(0), false, true, &["true_dest", "false_dest"], 0),
+    spec(
+        "cf.cond_br",
+        Arity::Exact(1),
+        Arity::Exact(0),
+        false,
+        true,
+        &["true_dest", "false_dest"],
+        0,
+    ),
     // --- loop: structured counted loops ---------------------------------
     // Operands are the loop-carried init values; the body block takes the
     // induction variable followed by the iteration arguments; results are

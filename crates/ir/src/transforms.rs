@@ -125,8 +125,7 @@ fn unroll_region(func: &mut Func, region: &mut Region, max_trips: u64) -> bool {
             }
             let (lo, _hi, step, trips) = trip_count(&op).expect("checked above");
             let body = op.regions[0].blocks[0].clone();
-            let (iv, carried_args) =
-                (body.args[0], body.args[1..].to_vec());
+            let (iv, carried_args) = (body.args[0], body.args[1..].to_vec());
             let mut carried: Vec<Value> = op.operands.clone();
             for trip in 0..trips {
                 let mut map: HashMap<Value, Value> = HashMap::new();
@@ -143,11 +142,8 @@ fn unroll_region(func: &mut Func, region: &mut Region, max_trips: u64) -> bool {
                 let mut next_carried = carried.clone();
                 for inner in &body.ops {
                     if inner.name == "loop.yield" {
-                        next_carried = inner
-                            .operands
-                            .iter()
-                            .map(|o| *map.get(o).unwrap_or(o))
-                            .collect();
+                        next_carried =
+                            inner.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
                         break;
                     }
                     let cloned = clone_op(func, inner, &mut map);
@@ -246,16 +242,14 @@ fn inline_region(
             let mut returned: Vec<Value> = Vec::new();
             for inner in &entry.ops {
                 if inner.name == "func.return" {
-                    returned =
-                        inner.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
+                    returned = inner.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
                     break;
                 }
                 // Clone into the *caller*: allocate the callee's value
                 // types in the caller's table.
                 let mut cloned = Op::new(inner.name.clone());
                 cloned.attrs = inner.attrs.clone();
-                cloned.operands =
-                    inner.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
+                cloned.operands = inner.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
                 for r in &inner.regions {
                     let cl = clone_callee_region(caller, &callee, r, &mut map);
                     cloned.regions.push(cl);
@@ -496,9 +490,8 @@ mod tests {
 
         let mut caller = FuncBuilder::new("main", &[], &[Type::F64]);
         let init = caller.const_f(0.0, Type::F64);
-        let out = caller.for_loop(0, 3, 1, &[init], |fb, _iv, c| {
-            fb.call("inc", &[c[0]], &[Type::F64])
-        });
+        let out =
+            caller.for_loop(0, 3, 1, &[init], |fb, _iv, c| fb.call("inc", &[c[0]], &[Type::F64]));
         caller.ret(&[out[0]]);
         m.push(caller.finish());
 

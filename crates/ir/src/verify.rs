@@ -45,10 +45,8 @@ pub fn verify_module(module: &Module) -> IrResult<()> {
 /// Returns [`IrError::Verify`] or [`IrError::UnknownOp`] on the first
 /// violation.
 pub fn verify_func(func: &Func) -> IrResult<()> {
-    let entry = func
-        .body
-        .entry()
-        .ok_or_else(|| IrError::Verify("function has no entry block".into()))?;
+    let entry =
+        func.body.entry().ok_or_else(|| IrError::Verify("function has no entry block".into()))?;
     if entry.args.len() != func.params.len() {
         return Err(IrError::Verify(format!(
             "entry block has {} args but function has {} params",
@@ -102,8 +100,7 @@ fn verify_block(
         return Err(IrError::Verify(format!("block {} is empty", block.id)));
     }
     for (i, op) in block.ops.iter().enumerate() {
-        let spec = registry::lookup(&op.name)
-            .ok_or_else(|| IrError::UnknownOp(op.name.clone()))?;
+        let spec = registry::lookup(&op.name).ok_or_else(|| IrError::UnknownOp(op.name.clone()))?;
         verify_op_shape(op, spec)?;
         let is_last = i + 1 == block.ops.len();
         if spec.terminator && !is_last {
@@ -175,7 +172,7 @@ fn verify_op_shape(op: &Op, spec: &OpSpec) -> IrResult<()> {
     Ok(())
 }
 
-fn ty<'f>(func: &'f Func, v: Value) -> &'f Type {
+fn ty(func: &Func, v: Value) -> &Type {
     func.value_type(v)
 }
 
@@ -191,8 +188,7 @@ fn verify_op_types(func: &Func, op: &Op) -> IrResult<()> {
                 None => unreachable!("required attr checked earlier"),
             }
         }
-        "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maxf"
-        | "arith.minf" => {
+        "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maxf" | "arith.minf" => {
             let (a, b, r) =
                 (ty(func, op.operands[0]), ty(func, op.operands[1]), ty(func, op.results[0]));
             if a != b || a != r {
@@ -431,7 +427,7 @@ mod tests {
         let a = Type::tensor(Type::F32, &[4, 8]);
         let b = Type::tensor(Type::F32, &[9, 3]);
         let c = Type::tensor(Type::F32, &[4, 3]);
-        let mut fb = FuncBuilder::new("f", &[a, b], &[c.clone()]);
+        let mut fb = FuncBuilder::new("f", &[a, b], std::slice::from_ref(&c));
         let r = fb.binary("tensor.matmul", fb.arg(0), fb.arg(1), c);
         fb.ret(&[r]);
         let err = verify_func(&fb.finish()).unwrap_err();

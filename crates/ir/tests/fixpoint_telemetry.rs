@@ -1,0 +1,76 @@
+//! `PassManager::standard()` fixpoint convergence, observed through the
+//! telemetry iteration spans. Lives in its own integration binary (with
+//! one test) because it installs the global recording tracer.
+
+use everest_ir::builder::FuncBuilder;
+use everest_ir::pass::{constant_of, PassManager};
+use everest_ir::types::Type;
+use everest_ir::Module;
+use everest_telemetry::Tracer;
+
+#[test]
+fn standard_pipeline_needs_two_iterations_to_converge() {
+    let tracer = Tracer::recording();
+    everest_telemetry::install_global(tracer.clone());
+
+    // Folding collapses 2+2 and (2+2)*(2+2), CSE merges the duplicate
+    // constants, and DCE sweeps the dead subtraction — all in the first
+    // canonicalize iteration. A second iteration is then required to
+    // observe that nothing changes and declare the fixpoint.
+    let mut fb = FuncBuilder::new("f", &[], &[Type::F64]);
+    let a = fb.const_f(2.0, Type::F64);
+    let b = fb.const_f(2.0, Type::F64);
+    let c = fb.binary("arith.addf", a, b, Type::F64);
+    let d = fb.binary("arith.mulf", c, c, Type::F64);
+    let _dead = fb.binary("arith.subf", d, c, Type::F64);
+    fb.ret(&[d]);
+    let mut module = Module::new("t");
+    module.push(fb.finish());
+
+    let pm = PassManager::standard();
+    assert!(pm.run(&mut module).unwrap(), "first run must change the module");
+    let first_run = tracer.finish();
+
+    assert!(!pm.run(&mut module).unwrap(), "second run must be at the fixpoint");
+    let second_run = tracer.finish();
+    everest_telemetry::install_global(Tracer::disabled());
+
+    module.verify().unwrap();
+    let func = module.func("f").unwrap();
+    assert_eq!(func.op_count(), 2); // constant 16.0 + return
+    let ret = func.body.entry().unwrap().terminator().unwrap();
+    assert_eq!(constant_of(func, ret.operands[0]).unwrap().as_float(), Some(16.0));
+
+    // The converging run takes exactly two iterations: one that changes
+    // the module and one that confirms the fixpoint.
+    let iters: Vec<_> = first_run.iter().filter(|s| s.name == "canonicalize.iter").collect();
+    assert_eq!(iters.len(), 2, "expected a changing plus a confirming iteration");
+    let attr = |s: &everest_telemetry::SpanRecord, key: &str| {
+        s.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    assert_eq!(attr(iters[0], "changed").as_deref(), Some("true"));
+    assert_eq!(attr(iters[1], "changed").as_deref(), Some("false"));
+
+    // Span nesting: iterations sit under the canonicalize pass span,
+    // which sits under the pipeline span; fold/cse/dce sit under their
+    // iteration.
+    let pipeline = first_run.iter().find(|s| s.name == "ir.pipeline").unwrap();
+    let pass = first_run.iter().find(|s| s.name == "canonicalize").unwrap();
+    assert_eq!(pass.parent, Some(pipeline.id));
+    for iter in &iters {
+        assert_eq!(iter.parent, Some(pass.id));
+    }
+    let folds: Vec<_> = first_run.iter().filter(|s| s.name == "fold").collect();
+    assert_eq!(folds.len(), 2);
+    assert!(folds.iter().all(|s| iters.iter().any(|i| Some(i.id) == s.parent)));
+
+    // An already-canonical module converges in a single iteration.
+    let second_iters = second_run.iter().filter(|s| s.name == "canonicalize.iter").count();
+    assert_eq!(second_iters, 1);
+
+    // The changed counters fired once per changing step.
+    let metrics = everest_telemetry::metrics().snapshot();
+    assert!(metrics.counter("ir.pass.changed.fold") >= 1);
+    assert!(metrics.counter("ir.pass.changed.dce") >= 1);
+    assert!(metrics.counter("ir.pass.changed") >= 1);
+}

@@ -20,9 +20,7 @@ fn attr_strategy() -> impl Strategy<Value = Attr> {
         any::<bool>().prop_map(Attr::Bool),
         scalar_type().prop_map(Attr::Type),
     ];
-    leaf.prop_recursive(2, 8, 4, |inner| {
-        prop::collection::vec(inner, 0..4).prop_map(Attr::Array)
-    })
+    leaf.prop_recursive(2, 8, 4, |inner| prop::collection::vec(inner, 0..4).prop_map(Attr::Array))
 }
 
 /// Builds a random straight-line function over one scalar type: a chain of
@@ -35,14 +33,10 @@ fn random_func(
 ) -> everest_ir::Func {
     let is_float = ty.is_float();
     let params = vec![ty.clone(); 2];
-    let mut fb = FuncBuilder::new(name, &params, &[ty.clone()]);
+    let mut fb = FuncBuilder::new(name, &params, std::slice::from_ref(&ty));
     let mut avail: Vec<Value> = vec![fb.arg(0), fb.arg(1)];
     for s in seeds {
-        let v = if is_float {
-            fb.const_f(s, ty.clone())
-        } else {
-            fb.const_i(s as i64, ty.clone())
-        };
+        let v = if is_float { fb.const_f(s, ty.clone()) } else { fb.const_i(s as i64, ty.clone()) };
         avail.push(v);
     }
     for (kind, i, j) in picks {

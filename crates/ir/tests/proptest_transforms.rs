@@ -18,11 +18,8 @@ fn random_loop_func(lo: i64, trips: i64, picks: &[(u8, bool)]) -> everest_ir::Fu
         let ivf = fb.unary("arith.sitofp", iv, Type::F64);
         let mut acc: Value = c[0];
         for (kind, use_iv) in &picks {
-            let rhs = if *use_iv {
-                ivf
-            } else {
-                fb.const_f(f64::from(*kind) * 0.25 + 0.5, Type::F64)
-            };
+            let rhs =
+                if *use_iv { ivf } else { fb.const_f(f64::from(*kind) * 0.25 + 0.5, Type::F64) };
             let name = match kind % 4 {
                 0 => "arith.addf",
                 1 => "arith.subf",

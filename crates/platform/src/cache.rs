@@ -50,17 +50,8 @@ impl Cache {
     /// than one way of lines).
     pub fn new(config: CacheConfig) -> Cache {
         assert!(config.line_bytes > 0 && config.ways > 0, "degenerate cache");
-        assert!(
-            config.size_bytes >= config.line_bytes * config.ways,
-            "capacity below one set"
-        );
-        Cache {
-            config,
-            sets: vec![Vec::new(); config.sets()],
-            clock: 0,
-            accesses: 0,
-            misses: 0,
-        }
+        assert!(config.size_bytes >= config.line_bytes * config.ways, "capacity below one set");
+        Cache { config, sets: vec![Vec::new(); config.sets()], clock: 0, accesses: 0, misses: 0 }
     }
 
     /// Accesses a byte address; returns `true` on hit.
@@ -141,7 +132,11 @@ impl Hierarchy {
 
     /// Creates the default L1+L2 hierarchy.
     pub fn typical() -> Hierarchy {
-        Hierarchy { l1: Cache::new(CacheConfig::l1d()), l2: Cache::new(CacheConfig::l2()), cycles: 0 }
+        Hierarchy {
+            l1: Cache::new(CacheConfig::l1d()),
+            l2: Cache::new(CacheConfig::l2()),
+            cycles: 0,
+        }
     }
 
     /// Accesses an address through the hierarchy.

@@ -182,15 +182,13 @@ impl FpgaDevice {
                 available: avail.luts,
             });
         }
-        let slot = self
-            .roles
-            .iter()
-            .position(Option::is_none)
-            .ok_or_else(|| PlatformError::CapacityExceeded {
+        let slot = self.roles.iter().position(Option::is_none).ok_or_else(|| {
+            PlatformError::CapacityExceeded {
                 what: format!("PR slots of '{}'", self.name),
                 needed: 1,
                 available: 0,
-            })?;
+            }
+        })?;
         self.roles[slot] = Some(role);
         Ok(slot)
     }
@@ -214,9 +212,7 @@ impl FpgaDevice {
 
     /// Finds the slot running a role by name.
     pub fn find_role(&self, name: &str) -> Option<usize> {
-        self.roles
-            .iter()
-            .position(|r| r.as_ref().is_some_and(|role| role.name == name))
+        self.roles.iter().position(|r| r.as_ref().is_some_and(|role| role.name == name))
     }
 }
 

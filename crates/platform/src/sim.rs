@@ -50,7 +50,13 @@ impl Sim {
     /// # Panics
     ///
     /// Panics if `duration_us` is negative.
-    pub fn run(&mut self, resource: &str, label: &str, ready_at: TimeUs, duration_us: f64) -> TimeUs {
+    pub fn run(
+        &mut self,
+        resource: &str,
+        label: &str,
+        ready_at: TimeUs,
+        duration_us: f64,
+    ) -> TimeUs {
         assert!(duration_us >= 0.0, "negative duration");
         let timeline = self.timelines.entry(resource.to_owned()).or_default();
         let start = timeline.available_at.max(ready_at);

@@ -69,8 +69,7 @@ pub struct ScenarioReport {
 /// conditions (what the hardware would actually deliver).
 pub fn actual_time_us(point: &Variant, phase: &Phase) -> f64 {
     if point.is_hardware() {
-        point.metrics.latency_us * phase.hw_slowdown
-            + point.metrics.transfer_us * phase.congestion
+        point.metrics.latency_us * phase.hw_slowdown + point.metrics.transfer_us * phase.congestion
     } else {
         point.metrics.total_us()
     }
@@ -184,11 +183,7 @@ mod tests {
     use everest_variants::{Metrics, Target, Transform};
 
     fn point(id: &str, latency: f64, transfer: f64, luts: u64) -> Variant {
-        let transforms = if luts > 0 {
-            vec![Transform::OnTarget(Target::FpgaBus)]
-        } else {
-            vec![]
-        };
+        let transforms = if luts > 0 { vec![Transform::OnTarget(Target::FpgaBus)] } else { vec![] };
         Variant {
             id: id.into(),
             kernel: "k".into(),
@@ -301,7 +296,8 @@ mod tests {
     #[test]
     fn software_only_scenarios_never_reconfigure() {
         let pts = vec![point("sw", 300.0, 0.0, 0)];
-        let r = run_scenario_with_costs(&pts, &[Phase::calm("p", 10)], Strategy::Static(0), 5_000.0);
+        let r =
+            run_scenario_with_costs(&pts, &[Phase::calm("p", 10)], Strategy::Static(0), 5_000.0);
         assert_eq!(r.reconfigs, 0);
     }
 

@@ -72,6 +72,9 @@ pub struct Autotuner {
     /// EWMA of observed/predicted latency ratio per point id.
     correction: HashMap<String, f64>,
     alpha: f64,
+    /// Index of the point returned by the previous [`Autotuner::select`],
+    /// used to count variant switches in telemetry.
+    last_selected: std::cell::Cell<Option<usize>>,
 }
 
 impl Autotuner {
@@ -83,6 +86,7 @@ impl Autotuner {
             objective: Objective::default(),
             correction: HashMap::new(),
             alpha: 0.3,
+            last_selected: std::cell::Cell::new(None),
         }
     }
 
@@ -165,18 +169,26 @@ impl Autotuner {
     /// Returns [`RuntimeError::NoFeasiblePoint`] when every point violates
     /// a constraint or the state.
     pub fn select(&self, state: &SystemState) -> RuntimeResult<&Variant> {
-        self.points
+        let (index, point) = self
+            .points
             .iter()
-            .filter(|p| self.feasible(p, state))
-            .min_by(|a, b| self.rank(a, state).total_cmp(&self.rank(b, state)))
-            .ok_or(RuntimeError::NoFeasiblePoint)
+            .enumerate()
+            .filter(|(_, p)| self.feasible(p, state))
+            .min_by(|(_, a), (_, b)| self.rank(a, state).total_cmp(&self.rank(b, state)))
+            .ok_or(RuntimeError::NoFeasiblePoint)?;
+        let previous = self.last_selected.replace(Some(index));
+        everest_telemetry::metrics().counter_inc("runtime.autotuner.selections");
+        if previous.is_some_and(|prev| prev != index) {
+            everest_telemetry::metrics().counter_inc("runtime.variant_switches");
+        }
+        Ok(point)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use everest_variants::{Metrics, Transform, Target};
+    use everest_variants::{Metrics, Target, Transform};
 
     fn point(id: &str, latency: f64, transfer: f64, energy: f64, luts: u64, dift: bool) -> Variant {
         let mut transforms = Vec::new();

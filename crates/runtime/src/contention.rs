@@ -29,7 +29,12 @@ impl Tenant {
     /// # Panics
     ///
     /// Panics on non-positive times or zero invocations.
-    pub fn new(name: impl Into<String>, kernel_us: f64, period_us: f64, invocations: usize) -> Tenant {
+    pub fn new(
+        name: impl Into<String>,
+        kernel_us: f64,
+        period_us: f64,
+        invocations: usize,
+    ) -> Tenant {
         assert!(kernel_us > 0.0 && period_us > 0.0, "positive times required");
         assert!(invocations > 0, "at least one invocation");
         Tenant { name: name.into(), kernel_us, period_us, invocations }
@@ -57,10 +62,7 @@ pub struct ContentionReport {
 impl ContentionReport {
     /// The mean response time of `tenant`, if simulated.
     pub fn response_of(&self, tenant: &str) -> Option<f64> {
-        self.mean_response_us
-            .iter()
-            .find(|(n, _)| n == tenant)
-            .map(|(_, r)| *r)
+        self.mean_response_us.iter().find(|(n, _)| n == tenant).map(|(_, r)| *r)
     }
 }
 
@@ -92,12 +94,8 @@ pub fn share_slots(tenants: &[Tenant], slots: usize) -> ContentionReport {
             .iter()
             .min_by(|a, b| sim.available_at(a).total_cmp(&sim.available_at(b)))
             .expect("slots exist");
-        let finish = sim.run(
-            slot,
-            &format!("{}#{}", tenants[ti].name, seq),
-            arrival,
-            tenants[ti].kernel_us,
-        );
+        let finish =
+            sim.run(slot, &format!("{}#{}", tenants[ti].name, seq), arrival, tenants[ti].kernel_us);
         let response = finish - arrival;
         sums[ti] += response;
         maxes[ti] = maxes[ti].max(response);
@@ -107,11 +105,8 @@ pub fn share_slots(tenants: &[Tenant], slots: usize) -> ContentionReport {
         .enumerate()
         .map(|(ti, t)| (t.name.clone(), sums[ti] / t.invocations as f64))
         .collect();
-    let max_response_us = tenants
-        .iter()
-        .enumerate()
-        .map(|(ti, t)| (t.name.clone(), maxes[ti]))
-        .collect();
+    let max_response_us =
+        tenants.iter().enumerate().map(|(ti, t)| (t.name.clone(), maxes[ti])).collect();
     let utilization = slot_names.iter().map(|s| sim.utilization(s)).sum::<f64>() / slots as f64;
     ContentionReport {
         mean_response_us,
@@ -127,9 +122,9 @@ pub fn share_slots(tenants: &[Tenant], slots: usize) -> ContentionReport {
 pub fn slots_for_slo(tenants: &[Tenant], slo_factor: f64, max_slots: usize) -> Option<usize> {
     for slots in 1..=max_slots {
         let report = share_slots(tenants, slots);
-        let ok = tenants.iter().all(|t| {
-            report.response_of(&t.name).is_some_and(|r| r <= slo_factor * t.kernel_us)
-        });
+        let ok = tenants
+            .iter()
+            .all(|t| report.response_of(&t.name).is_some_and(|r| r <= slo_factor * t.kernel_us));
         if ok {
             return Some(slots);
         }
@@ -152,10 +147,7 @@ mod tests {
     #[test]
     fn overload_grows_response_time() {
         // Two tenants each offering 0.8 of a slot: one slot saturates.
-        let tenants = vec![
-            Tenant::new("a", 80.0, 100.0, 50),
-            Tenant::new("b", 80.0, 100.0, 50),
-        ];
+        let tenants = vec![Tenant::new("a", 80.0, 100.0, 50), Tenant::new("b", 80.0, 100.0, 50)];
         let shared = share_slots(&tenants, 1);
         let dedicated = share_slots(&tenants, 2);
         assert!(

@@ -35,11 +35,26 @@ impl RuntimeMonitor {
     /// Records one invocation: observed latency plus monitor alarms from
     /// the data-protection layer.
     pub fn record(&mut self, latency_us: f64, access_alarm: bool, range_alarm: bool) {
+        let telemetry = everest_telemetry::metrics();
+        telemetry.observe("runtime.latency_us", latency_us);
         let timing_alarm = self.timing.observe(latency_us);
+        if timing_alarm {
+            telemetry.counter_inc("runtime.alarm.timing");
+        }
+        if access_alarm {
+            telemetry.counter_inc("runtime.alarm.access");
+        }
+        if range_alarm {
+            telemetry.counter_inc("runtime.alarm.range");
+        }
         match self.protect.step(timing_alarm, access_alarm, range_alarm) {
             ProtectAction::None | ProtectAction::Audit => {}
-            ProtectAction::SwitchHardenedVariant => self.hardened_mode = true,
+            ProtectAction::SwitchHardenedVariant => {
+                telemetry.counter_inc("runtime.hardened_switches");
+                self.hardened_mode = true;
+            }
             ProtectAction::Isolate => {
+                telemetry.counter_inc("runtime.isolations");
                 self.hardened_mode = true;
                 self.isolations += 1;
             }
@@ -49,11 +64,13 @@ impl RuntimeMonitor {
     /// Updates resource availability (fabric reclaimed or consumed).
     pub fn set_free_luts(&mut self, free: u64) {
         self.free_luts = free;
+        everest_telemetry::metrics().gauge_set("runtime.free_luts", free as f64);
     }
 
     /// Updates the observed link congestion factor (≥ 1).
     pub fn set_congestion(&mut self, factor: f64) {
         self.congestion = factor.max(1.0);
+        everest_telemetry::metrics().gauge_set("runtime.congestion", self.congestion);
     }
 
     /// Clears the hardened-mode latch (after an operator all-clear).

@@ -70,7 +70,8 @@ impl VfpgaManager {
                 Ok(slot) => {
                     let handle = format!("vfpga{}", self.next_handle);
                     self.next_handle += 1;
-                    self.grants.insert(handle.clone(), Grant { device: di, slot, vm: vm.to_owned() });
+                    self.grants
+                        .insert(handle.clone(), Grant { device: di, slot, vm: vm.to_owned() });
                     return Ok(handle);
                 }
                 Err(_) => continue,
@@ -88,10 +89,8 @@ impl VfpgaManager {
     ///
     /// Returns [`RuntimeError::Unknown`] for a bogus handle.
     pub fn release(&mut self, handle: &str) -> RuntimeResult<()> {
-        let grant = self
-            .grants
-            .remove(handle)
-            .ok_or_else(|| RuntimeError::Unknown(handle.to_owned()))?;
+        let grant =
+            self.grants.remove(handle).ok_or_else(|| RuntimeError::Unknown(handle.to_owned()))?;
         self.devices[grant.device]
             .undeploy(grant.slot)
             .map_err(|e| RuntimeError::Allocation(e.to_string()))?;
@@ -105,12 +104,8 @@ impl VfpgaManager {
 
     /// Handles granted to a VM.
     pub fn handles_of(&self, vm: &str) -> Vec<&str> {
-        let mut hs: Vec<&str> = self
-            .grants
-            .iter()
-            .filter(|(_, g)| g.vm == vm)
-            .map(|(h, _)| h.as_str())
-            .collect();
+        let mut hs: Vec<&str> =
+            self.grants.iter().filter(|(_, g)| g.vm == vm).map(|(h, _)| h.as_str()).collect();
         hs.sort_unstable();
         hs
     }

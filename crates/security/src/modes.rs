@@ -173,16 +173,12 @@ mod tests {
     fn nist_gcm_test_case_3_four_blocks() {
         let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
         let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
-        let pt = hex(
-            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
-             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
-        );
+        let pt = hex("d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
         let gcm = AesGcm::new(&key);
         let sealed = gcm.seal(&nonce, &pt, b"");
-        let expected_ct = hex(
-            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
-             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
-        );
+        let expected_ct = hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
         let expected_tag = hex("4d5c2af327cd64a62cf35abd2ba6fab4");
         assert_eq!(&sealed[..64], &expected_ct[..]);
         assert_eq!(&sealed[64..], &expected_tag[..]);

@@ -1,0 +1,76 @@
+//! Observability for the EVEREST pipeline: span tracing, metrics, and
+//! Chrome-trace export.
+//!
+//! The crate has three layers:
+//!
+//! * [`trace`] — a thread-safe [`Tracer`] handing out RAII [`Span`]
+//!   guards. Spans record name, category, start/end timestamps (µs),
+//!   nesting (parent span ids), and `key=value` attributes. The global
+//!   tracer defaults to a no-op that performs **no heap allocation per
+//!   span**, so instrumented code costs nearly nothing when tracing is
+//!   off.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   fixed-bucket histograms with a serializable [`MetricsSnapshot`].
+//! * [`export`] — exporters: Chrome trace-event JSON (loadable in
+//!   `chrome://tracing` / Perfetto) and a human-readable flame summary
+//!   table.
+//!
+//! Instrumented crates call [`span`] / [`metrics`](fn@metrics)
+//! unconditionally; a front-end (e.g. `everestc --trace`) opts in by
+//! installing a recording tracer via [`install_global`].
+//!
+//! ```
+//! use everest_telemetry as telemetry;
+//!
+//! telemetry::install_global(telemetry::Tracer::recording());
+//! {
+//!     let mut span = telemetry::span("compile", "sdk");
+//!     span.attr("kernel", "fft");
+//! }
+//! let spans = telemetry::take_global().finish();
+//! assert_eq!(spans.len(), 1);
+//! let json = telemetry::export::chrome_trace_json(
+//!     &telemetry::export::spans_to_events(&spans),
+//! );
+//! assert!(json.starts_with('['));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::TraceEvent;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use trace::{Span, SpanRecord, Tracer};
+
+use parking_lot::RwLock;
+
+static GLOBAL: RwLock<Tracer> = RwLock::new(Tracer::disabled());
+static METRICS: MetricsRegistry = MetricsRegistry::new();
+
+/// Replaces the global tracer (usually with [`Tracer::recording`]).
+pub fn install_global(tracer: Tracer) {
+    *GLOBAL.write() = tracer;
+}
+
+/// A handle to the current global tracer.
+pub fn global() -> Tracer {
+    GLOBAL.read().clone()
+}
+
+/// Swaps the global tracer back to disabled and returns the old one, so
+/// its spans can be [`Tracer::finish`]ed exactly once.
+pub fn take_global() -> Tracer {
+    std::mem::take(&mut *GLOBAL.write())
+}
+
+/// Opens a span on the global tracer. A no-op (no heap allocation) while
+/// the global tracer is disabled.
+pub fn span(name: &str, category: &str) -> Span {
+    GLOBAL.read().span(name, category)
+}
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    &METRICS
+}

@@ -1,0 +1,290 @@
+//! Named counters, gauges, and fixed-bucket histograms.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default histogram bucket upper bounds (µs-flavoured powers of ten),
+/// used when a value is observed on an unregistered histogram.
+pub const DEFAULT_BUCKETS: [f64; 8] =
+    [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0, 100_000_000.0];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// Upper bounds of the finite buckets, ascending.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last bucket is the overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot =
+            self.bounds.iter().position(|&bound| value <= bound).unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+fn slot<'a, T>(
+    entries: &'a mut Vec<(String, T)>,
+    name: &str,
+    init: impl FnOnce() -> T,
+) -> &'a mut T {
+    if let Some(at) = entries.iter().position(|(n, _)| n == name) {
+        return &mut entries[at].1;
+    }
+    entries.push((name.to_owned(), init()));
+    &mut entries.last_mut().unwrap().1
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// All operations auto-register the metric on first use; histograms can
+/// be pre-registered with explicit bucket bounds via
+/// [`MetricsRegistry::register_histogram`].
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (const, so it can back a `static`).
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Mutex::new(Inner {
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                histograms: Vec::new(),
+            }),
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *slot(&mut self.inner.lock().counters, name, || 0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        *slot(&mut self.inner.lock().gauges, name, || 0.0) = value;
+    }
+
+    /// Registers a histogram with explicit ascending bucket upper
+    /// bounds. Re-registering an existing histogram keeps its data.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        slot(&mut self.inner.lock().histograms, name, || Histogram::new(bounds));
+    }
+
+    /// Records `value` into the named histogram
+    /// ([`DEFAULT_BUCKETS`] if it was never registered).
+    pub fn observe(&self, name: &str, value: f64) {
+        slot(&mut self.inner.lock().histograms, name, || Histogram::new(&DEFAULT_BUCKETS))
+            .observe(value);
+    }
+
+    /// A point-in-time copy of every metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut counters: Vec<CounterSnapshot> = inner
+            .counters
+            .iter()
+            .map(|(name, value)| CounterSnapshot { name: name.clone(), value: *value })
+            .collect();
+        let mut gauges: Vec<GaugeSnapshot> = inner
+            .gauges
+            .iter()
+            .map(|(name, value)| GaugeSnapshot { name: name.clone(), value: *value })
+            .collect();
+        let mut histograms: Vec<HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                bounds: h.bounds.clone(),
+                counts: h.counts.clone(),
+                count: h.count,
+                sum: h.sum,
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+
+    /// Clears every metric (used between CLI invocations and tests).
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Monotonic total.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Serializable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The named histogram, if any value was observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let registry = MetricsRegistry::new();
+        registry.counter_inc("b.total");
+        registry.counter_add("a.total", 41);
+        registry.counter_inc("a.total");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a.total"), 42);
+        assert_eq!(snap.counter("b.total"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.counters[0].name, "a.total");
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let registry = MetricsRegistry::new();
+        registry.gauge_set("free_luts", 1000.0);
+        registry.gauge_set("free_luts", 640.0);
+        assert_eq!(registry.snapshot().gauge("free_luts"), Some(640.0));
+        assert_eq!(registry.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_count_correctly() {
+        let registry = MetricsRegistry::new();
+        registry.register_histogram("latency", &[10.0, 100.0, 1000.0]);
+        for value in [1.0, 10.0, 11.0, 500.0, 5000.0, 9999.0] {
+            registry.observe("latency", value);
+        }
+        let snap = registry.snapshot();
+        let h = snap.histogram("latency").unwrap();
+        // <=10: {1, 10}; <=100: {11}; <=1000: {500}; overflow: {5000, 9999}
+        assert_eq!(h.counts, vec![2, 1, 1, 2]);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1.0 + 10.0 + 11.0 + 500.0 + 5000.0 + 9999.0);
+        assert!((h.mean() - h.sum / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unregistered_histogram_uses_default_buckets() {
+        let registry = MetricsRegistry::new();
+        registry.observe("auto", 50.0);
+        let snap = registry.snapshot();
+        let h = snap.histogram("auto").unwrap();
+        assert_eq!(h.bounds, DEFAULT_BUCKETS.to_vec());
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+        assert_eq!(h.counts[1], 1); // 10 < 50 <= 100
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("n", 3);
+        registry.gauge_set("g", 1.5);
+        registry.observe("h", 42.0);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let registry = MetricsRegistry::new();
+        registry.counter_inc("n");
+        registry.reset();
+        let snap = registry.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    }
+}

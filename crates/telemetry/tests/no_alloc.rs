@@ -1,0 +1,57 @@
+//! Verifies the acceptance criterion that disabled tracing adds no heap
+//! allocation per span. Lives in its own integration-test binary because
+//! it swaps in a counting global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    // The default global tracer is disabled; warm up any lazy statics
+    // (thread-locals, lock internals) outside the measured window.
+    {
+        let mut span = everest_telemetry::span("warmup", "test");
+        span.attr("k", 1);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        let mut span = everest_telemetry::span("hot", "test");
+        span.attr("iteration", 42);
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled spans must not allocate");
+}
+
+#[test]
+fn enabled_spans_do_record() {
+    // Sanity check in the same binary: recording still works (and is
+    // allowed to allocate).
+    let tracer = everest_telemetry::Tracer::recording();
+    drop(tracer.span("op", "test"));
+    assert_eq!(tracer.finish().len(), 1);
+}

@@ -47,11 +47,8 @@ pub fn analyze(func: &Func) -> KernelWorkload {
         }
     }
     func.walk(&mut |op| {
-        let out_elems = op
-            .results
-            .first()
-            .map(|r| tensor_elems(func.value_type(*r)))
-            .unwrap_or(0.0);
+        let out_elems =
+            op.results.first().map(|r| tensor_elems(func.value_type(*r))).unwrap_or(0.0);
         match op.name.as_str() {
             "tensor.matmul" => {
                 // 2*m*k*n: out is m x n, the shared dim comes from operand 0.
@@ -66,11 +63,7 @@ pub fn analyze(func: &Func) -> KernelWorkload {
             // this the kernel class where acceleration shines.
             "tensor.sigmoid" => flops += 40.0 * out_elems,
             "tensor.stencil" => {
-                let w = op
-                    .attr("weights")
-                    .and_then(Attr::as_array)
-                    .map(|a| a.len())
-                    .unwrap_or(3);
+                let w = op.attr("weights").and_then(Attr::as_array).map(|a| a.len()).unwrap_or(3);
                 flops += 2.0 * w as f64 * out_elems;
             }
             "tensor.reduce" => {

@@ -33,7 +33,11 @@ const NET_BW_GBPS: f64 = 1.2;
 /// # Errors
 ///
 /// Propagates [`HlsError`] from hardware synthesis.
-pub fn evaluate(func: &Func, workload: &KernelWorkload, spec: &[Transform]) -> Result<Metrics, HlsError> {
+pub fn evaluate(
+    func: &Func,
+    workload: &KernelWorkload,
+    spec: &[Transform],
+) -> Result<Metrics, HlsError> {
     match spec.target() {
         Target::Cpu => Ok(software_metrics(workload, spec)),
         target => hardware_metrics(func, workload, spec, target),
@@ -173,12 +177,8 @@ mod tests {
         let f = mm_kernel(16);
         let w = analyze(&f);
         let plain = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
-        let hard = evaluate(
-            &f,
-            &w,
-            &[Transform::OnTarget(Target::FpgaBus), Transform::Dift(true)],
-        )
-        .unwrap();
+        let hard = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus), Transform::Dift(true)])
+            .unwrap();
         assert!(hard.area_luts > plain.area_luts);
     }
 }

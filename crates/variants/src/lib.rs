@@ -49,6 +49,9 @@ use everest_ir::Func;
 ///
 /// Propagates HLS failures for hardware points.
 pub fn generate(func: &Func, space: &space::DesignSpace) -> Result<Vec<Variant>, HlsError> {
+    let mut span = everest_telemetry::span("variants.generate", "variants");
+    span.attr("kernel", &func.name);
+    span.attr("space", space.size());
     let workload = analysis::analyze(func);
     let mut variants = Vec::new();
     for (i, spec) in space.enumerate().into_iter().enumerate() {

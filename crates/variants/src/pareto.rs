@@ -20,18 +20,20 @@ pub fn dominates(a: &Variant, b: &Variant) -> bool {
 /// Extracts the Pareto-optimal subset (non-dominated variants), preserving
 /// input order.
 pub fn pareto_front(variants: &[Variant]) -> Vec<Variant> {
-    variants
+    let mut span = everest_telemetry::span("variants.pareto", "variants");
+    span.attr("candidates", variants.len());
+    let front: Vec<Variant> = variants
         .iter()
         .filter(|v| !variants.iter().any(|other| dominates(other, v)))
         .cloned()
-        .collect()
+        .collect();
+    span.attr("front", front.len());
+    front
 }
 
 /// The variant with the lowest end-to-end time.
 pub fn fastest(variants: &[Variant]) -> Option<&Variant> {
-    variants
-        .iter()
-        .min_by(|a, b| a.metrics.total_us().total_cmp(&b.metrics.total_us()))
+    variants.iter().min_by(|a, b| a.metrics.total_us().total_cmp(&b.metrics.total_us()))
 }
 
 /// The variant with the lowest energy.

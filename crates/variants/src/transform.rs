@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn spec_accessors_with_values() {
-        let spec = vec![
+        let spec = [
             Transform::OnTarget(Target::FpgaBus),
             Transform::Banks(8),
             Transform::Pipeline(false),

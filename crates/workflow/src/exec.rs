@@ -43,12 +43,47 @@ impl RunReport {
 
     /// Tasks assigned to worker `w`.
     pub fn tasks_on(&self, w: usize) -> Vec<TaskId> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| **a == w)
-            .map(|(t, _)| t)
-            .collect()
+        self.assignment.iter().enumerate().filter(|(_, a)| **a == w).map(|(t, _)| t).collect()
+    }
+
+    /// Converts the timeline into Chrome trace events: exactly one `B`/`E`
+    /// pair per task, on the tid of the worker that ran it, so a scheduled
+    /// run renders as a per-worker Gantt chart in `chrome://tracing`.
+    pub fn trace_events(&self, graph: &TaskGraph) -> Vec<everest_telemetry::TraceEvent> {
+        let mut events = Vec::with_capacity(self.assignment.len() * 2);
+        for (task, &worker) in self.assignment.iter().enumerate() {
+            let name = graph.tasks().get(task).map(|t| t.name.as_str()).unwrap_or("task");
+            let tid = worker as u32;
+            let begin = everest_telemetry::TraceEvent::begin(
+                name,
+                "workflow",
+                self.start[task] as u64,
+                everest_telemetry::export::WORKFLOW_PID,
+                tid,
+            )
+            .with_arg("task", task)
+            .with_arg("worker", worker)
+            .with_arg("policy", self.policy);
+            let end = everest_telemetry::TraceEvent::end(
+                name,
+                "workflow",
+                self.finish[task] as u64,
+                everest_telemetry::export::WORKFLOW_PID,
+                tid,
+            );
+            events.push(begin);
+            events.push(end);
+        }
+        // Chrome requires B/E events in timestamp order per thread lane;
+        // on ties an end must precede the next begin.
+        events.sort_by(|a, b| {
+            (a.tid, a.ts_us, a.ph == everest_telemetry::export::Phase::Begin).cmp(&(
+                b.tid,
+                b.ts_us,
+                b.ph == everest_telemetry::export::Phase::Begin,
+            ))
+        });
+        events
     }
 }
 
@@ -57,10 +92,18 @@ impl RunReport {
 /// # Errors
 ///
 /// Returns [`WorkflowError::NoWorkers`] for an empty pool.
-pub fn simulate(graph: &TaskGraph, workers: &[Worker], policy: Policy) -> WorkflowResult<RunReport> {
+pub fn simulate(
+    graph: &TaskGraph,
+    workers: &[Worker],
+    policy: Policy,
+) -> WorkflowResult<RunReport> {
     if workers.is_empty() {
         return Err(WorkflowError::NoWorkers);
     }
+    let mut span = everest_telemetry::span("workflow.simulate", "workflow");
+    span.attr("tasks", graph.len());
+    span.attr("workers", workers.len());
+    span.attr("policy", policy);
     let mut st = AssignState::new(graph.len(), workers.len());
     for task in task_order(graph, policy) {
         let w = st.choose(graph, workers, task, policy);
@@ -154,6 +197,97 @@ mod tests {
                     assert!(pair[1].0 >= pair[0].1 - 1e-9, "{policy}: overlap on worker {w}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn zero_makespan_report_has_neutral_metrics() {
+        // A degenerate report (no work scheduled) must not divide by zero.
+        let report = RunReport {
+            policy: Policy::Fifo,
+            makespan_us: 0.0,
+            assignment: vec![],
+            start: vec![],
+            finish: vec![],
+            worker_busy_us: vec![0.0, 0.0],
+        };
+        let g = TaskGraph::wide(2, 10.0, 0);
+        assert_eq!(report.speedup(&g), 1.0);
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert!(report.tasks_on(0).is_empty());
+    }
+
+    #[test]
+    fn empty_worker_set_report_has_zero_utilization() {
+        let report = RunReport {
+            policy: Policy::Heft,
+            makespan_us: 42.0,
+            assignment: vec![],
+            start: vec![],
+            finish: vec![],
+            worker_busy_us: vec![],
+        };
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert!(report.tasks_on(3).is_empty());
+    }
+
+    #[test]
+    fn tasks_on_partitions_all_tasks() {
+        let g = TaskGraph::random(5, 7, 4, 300.0);
+        let workers = Worker::uniform_pool(3, 1.0);
+        let run = simulate(&g, &workers, Policy::MinLoad).unwrap();
+        let mut seen = vec![false; g.len()];
+        for w in 0..workers.len() {
+            for t in run.tasks_on(w) {
+                assert!(!seen[t], "task {t} listed on two workers");
+                seen[t] = true;
+                assert_eq!(run.assignment[t], w);
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+        // Out-of-range worker indices are empty, not a panic.
+        assert!(run.tasks_on(workers.len()).is_empty());
+    }
+
+    #[test]
+    fn trace_events_emit_one_begin_end_pair_per_task_on_its_worker_tid() {
+        use everest_telemetry::export::{Phase, WORKFLOW_PID};
+        let g = TaskGraph::random(11, 6, 8, 400.0);
+        let workers = Worker::uniform_pool(3, 1.0);
+        let run = simulate(&g, &workers, Policy::Heft).unwrap();
+        let events = run.trace_events(&g);
+        assert_eq!(events.len(), 2 * g.len());
+        for (task, spec) in g.tasks().iter().enumerate() {
+            let task_begins: Vec<_> = events
+                .iter()
+                .filter(|e| {
+                    e.ph == Phase::Begin && e.args.contains(&("task".to_owned(), task.to_string()))
+                })
+                .collect();
+            assert_eq!(task_begins.len(), 1, "task {task} must have exactly one B event");
+            let begin = task_begins[0];
+            assert_eq!(begin.name, spec.name);
+            assert_eq!(begin.tid, run.assignment[task] as u32, "task {task} on wrong tid");
+            assert_eq!(begin.pid, WORKFLOW_PID);
+            assert_eq!(begin.ts_us, run.start[task] as u64);
+        }
+        // Globally: one E per B, and per tid the lane is well-nested
+        // (non-overlapping tasks ⇒ depth alternates 0→1→0).
+        let begins = events.iter().filter(|e| e.ph == Phase::Begin).count();
+        let ends = events.iter().filter(|e| e.ph == Phase::End).count();
+        assert_eq!(begins, g.len());
+        assert_eq!(ends, g.len());
+        for w in 0..workers.len() {
+            let mut depth = 0i32;
+            for e in events.iter().filter(|e| e.tid == w as u32) {
+                match e.ph {
+                    Phase::Begin => depth += 1,
+                    Phase::End => depth -= 1,
+                    _ => {}
+                }
+                assert!((0..=1).contains(&depth), "lane {w} is not well-nested");
+            }
+            assert_eq!(depth, 0);
         }
     }
 

@@ -52,12 +52,7 @@ impl TaskGraph {
         for d in deps {
             assert!(*d < id, "dependency {d} does not exist yet");
         }
-        self.tasks.push(TaskSpec {
-            name: name.into(),
-            cost_us,
-            output_bytes,
-            deps: deps.to_vec(),
-        });
+        self.tasks.push(TaskSpec { name: name.into(), cost_us, output_bytes, deps: deps.to_vec() });
         id
     }
 

@@ -69,7 +69,11 @@ impl<T: Send + Sync + 'static> ParallelGraph<T> {
         for d in deps {
             assert!(*d < id, "dependency {d} does not exist yet");
         }
-        self.tasks.push(ParallelTask { name: name.into(), deps: deps.to_vec(), run: Arc::new(run) });
+        self.tasks.push(ParallelTask {
+            name: name.into(),
+            deps: deps.to_vec(),
+            run: Arc::new(run),
+        });
         id
     }
 
@@ -151,10 +155,8 @@ impl<T: Send + Sync + 'static> ParallelGraph<T> {
                     }
                 }
                 Err(reason) => {
-                    failure = Some(WorkflowError::TaskFailed {
-                        task: tasks[id].name.clone(),
-                        reason,
-                    });
+                    failure =
+                        Some(WorkflowError::TaskFailed { task: tasks[id].name.clone(), reason });
                     break;
                 }
             }

@@ -72,7 +72,13 @@ impl AssignState {
     }
 
     /// Earliest time every input of `task` is present on `worker`.
-    pub fn data_ready(&self, graph: &TaskGraph, workers: &[Worker], task: TaskId, worker: usize) -> f64 {
+    pub fn data_ready(
+        &self,
+        graph: &TaskGraph,
+        workers: &[Worker],
+        task: TaskId,
+        worker: usize,
+    ) -> f64 {
         graph
             .task(task)
             .deps

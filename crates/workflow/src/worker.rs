@@ -27,9 +27,7 @@ impl Worker {
 
     /// A pool of `n` identical workers on a datacenter LAN.
     pub fn uniform_pool(n: usize, speed: f64) -> Vec<Worker> {
-        (0..n)
-            .map(|i| Worker::new(format!("w{i}"), speed, 1.0 / (1.1 * 1e3), 25.0))
-            .collect()
+        (0..n).map(|i| Worker::new(format!("w{i}"), speed, 1.0 / (1.1 * 1e3), 25.0)).collect()
     }
 
     /// A heterogeneous pool: `fast` accelerated workers (speed 4.0) and

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let (frac, peak) = model.exceedance(&met, 50.0);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        println!("{cells:>8} {peak:>12.1} {elapsed:>14.2}   ({:.1}% of domain over 50 ug/m3)", frac * 100.0);
+        println!(
+            "{cells:>8} {peak:>12.1} {elapsed:>14.2}   ({:.1}% of domain over 50 ug/m3)",
+            frac * 100.0
+        );
     }
 
     println!("\n=== 24-hour delay decision (stable nights disperse poorly) ===");
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "accelerator: {} cycles @ {} MHz = {:.1} us, II={}, area = {}",
-        acc.latency_cycles, acc.clock_mhz, acc.time_us(), acc.innermost_ii, acc.area
+        acc.latency_cycles,
+        acc.clock_mhz,
+        acc.time_us(),
+        acc.innermost_ii,
+        acc.area
     );
     Ok(())
 }

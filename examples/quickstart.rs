@@ -55,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("calm system      -> {}", tuner.select(&SystemState::default())?.id);
     let busy = tuner.select(&SystemState { free_luts: 0, ..Default::default() })?;
     println!("fabric exhausted -> {}", busy.id);
-    let hardened =
-        tuner.select(&SystemState { require_hardened: true, ..Default::default() })?;
+    let hardened = tuner.select(&SystemState { require_hardened: true, ..Default::default() })?;
     println!("security alarm   -> {} (DIFT-hardened or software only)", hardened.id);
 
     Ok(())

@@ -19,13 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         space: DesignSpace { dift: vec![false, true], ..DesignSpace::small() },
         ..Sdk::new()
     };
-    let compiled = sdk.compile(
-        "kernel infer(x: tensor<256xf64>) -> tensor<256xf64> { return sigmoid(x); }",
-    )?;
+    let compiled =
+        sdk.compile("kernel infer(x: tensor<256xf64>) -> tensor<256xf64> { return sigmoid(x); }")?;
     let kernel = compiled.kernel("infer").expect("compiled");
     println!("variants (incl. DIFT-hardened):");
     for v in &kernel.variants {
-        println!("  {:<12} luts={:<7} total={:.2} us", v.id, v.metrics.area_luts, v.metrics.total_us());
+        println!(
+            "  {:<12} luts={:<7} total={:.2} us",
+            v.id,
+            v.metrics.area_luts,
+            v.metrics.total_us()
+        );
     }
 
     // 2. The DIFT overhead the hardened bitstream pays (TaintHLS model).
@@ -63,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsealed telemetry: {} bytes (payload + 16-byte tag)", sealed.len());
     let mut forged = sealed.clone();
     forged[2] ^= 1;
-    println!("tampered frame rejected: {}", gcm.open(&nonce, &forged, b"edge-arm->cloud-p9").is_err());
+    println!(
+        "tampered frame rejected: {}",
+        gcm.open(&nonce, &forged, b"edge-arm->cloud-p9").is_err()
+    );
 
     // 5. Auto-protection: a buffer-overflow-style scan trips the access
     // monitor and the runtime demands hardened variants.

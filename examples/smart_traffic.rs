@@ -8,22 +8,18 @@
 //!
 //! Run with: `cargo run --example smart_traffic`
 
+use everest::apps::micro::fundamental_diagram;
 use everest::apps::traffic::{
     assign_traffic, generate_fcd, ptdr_travel_time, random_od, shortest_route, RoadNetwork,
     SpeedProfiles,
 };
-use everest::apps::micro::fundamental_diagram;
 use everest::platform::ecosystem::{best_placement, evaluate, Stage, Tier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "our model will operate on selected cities (like Vienna) counting
     // thousands of vehicles daily"
     let network = RoadNetwork::grid(2026, 12, 0.8);
-    println!(
-        "road network: {} nodes, {} segments",
-        network.nodes.len(),
-        network.edges.len()
-    );
+    println!("road network: {} nodes, {} segments", network.nodes.len(), network.edges.len());
     let fcd = generate_fcd(&network, 7, 300_000);
     println!("floating-car data: {} observations", fcd.len());
     let profiles = SpeedProfiles::learn(&network, &fcd);
@@ -53,12 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== macroscopic assignment under O/D demand ===");
     let od = random_od(&network, 5, 60, 700.0);
     let report = assign_traffic(&network, &profiles, &od, 8, 8);
-    let over_capacity = report
-        .flows
-        .iter()
-        .zip(&network.edges)
-        .filter(|(f, e)| **f > e.capacity_veh_h)
-        .count();
+    let over_capacity =
+        report.flows.iter().zip(&network.edges).filter(|(f, e)| **f > e.capacity_veh_h).count();
     println!(
         "total: {:.0} vehicle-hours; {} segments over capacity; {} unrouted pairs",
         report.total_vehicle_hours, over_capacity, report.unrouted

@@ -1,0 +1,89 @@
+//! The miniature test runner behind `proptest!`: configuration, the
+//! deterministic RNG, and the case-level error channel.
+
+/// Per-suite configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(&'static str),
+    /// `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic SplitMix64 generator seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (e.g. `stringify!(test_name)`).
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label gives a stable per-test seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next uniform 64-bit word.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Maps a word to a float in `[0, 1)`.
+    pub fn unit_f64(word: u64) -> f64 {
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        let mut c = TestRng::deterministic("u");
+        let xs: Vec<u64> = (0..10).map(|_| a.next()).collect();
+        assert_eq!(xs, (0..10).map(|_| b.next()).collect::<Vec<u64>>());
+        assert_ne!(xs, (0..10).map(|_| c.next()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let f = TestRng::unit_f64(rng.next());
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` available
+//! offline) and supports exactly the shapes this workspace serializes:
+//! non-generic structs with named fields, and non-generic enums whose
+//! variants are units or unnamed-field tuples. Anything fancier panics
+//! with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected a type name, found `{other}`"),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported (derive on `{name}`)")
+            }
+            Some(_) => i += 1,
+            None => panic!(
+                "serde shim derive: `{name}` has no braced body (tuple/unit items unsupported)"
+            ),
+        }
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_struct_fields(&body) },
+        "enum" => Item::Enum { name, variants: parse_enum_variants(&body) },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_struct_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_meta(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected a field name, found `{other}`"),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde shim derive: expected `:` after field `{field}`, found `{other}` \
+                 (tuple structs unsupported)"
+            ),
+        }
+        // Skip the type: everything until a comma outside `<...>`.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_meta(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected a variant name, found `{other}`"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde shim derive: struct-like enum variant `{variant}` is unsupported")
+                }
+                _ => {}
+            }
+        }
+        // Skip to the separating comma (covers discriminants, which we reject
+        // implicitly by never generating code for them).
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push((variant, arity));
+    }
+    variants
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing = true;
+                    } else {
+                        fields += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing;
+    fields
+}
+
+fn bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("__f{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(__f0) => ::serde::value::Value::Object(vec![(\
+                             \"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    n => {
+                        let binds = bindings(*n).join(", ");
+                        let items: Vec<String> = bindings(*n)
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::value::Value::Object(vec![(\
+                                 \"{v}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get(\"{f}\").ok_or_else(|| \
+                             ::serde::DeError(format!(\"missing field `{f}` in {name}\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         if !matches!(__v, ::serde::value::Value::Object(_)) {{\n\
+                             return Err(::serde::DeError::expected(\"object ({name})\", __v));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join("\n")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                        )
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => match __inner {{\n\
+                                 ::serde::value::Value::Array(__items) if __items.len() == {arity} => \
+                                     Ok({name}::{v}({elems})),\n\
+                                 __other => Err(::serde::DeError::expected(\"array of {arity} ({name}::{v})\", __other)),\n\
+                             }},",
+                            elems = elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::DeError::expected(\"enum {name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated impl parses")
+}

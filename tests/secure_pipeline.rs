@@ -117,9 +117,8 @@ fn dift_hardened_accelerator_available_when_required() {
         space: DesignSpace { dift: vec![false, true], ..DesignSpace::small() },
         ..everest::Sdk::new()
     };
-    let compiled = sdk
-        .compile("kernel f(x: tensor<64xf64>) -> tensor<64xf64> { return relu(x); }")
-        .unwrap();
+    let compiled =
+        sdk.compile("kernel f(x: tensor<64xf64>) -> tensor<64xf64> { return relu(x); }").unwrap();
     let kernel = compiled.kernel("f").unwrap();
     let tuner = kernel.autotuner();
     let hardened = tuner

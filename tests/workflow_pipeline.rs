@@ -74,10 +74,7 @@ fn real_threaded_execution_computes_use_case_numbers() {
     });
     let power = g.add_task("farm_power", &[wind], |ins| {
         // Apply the power curve to the hourly mean winds of a 10-turbine farm.
-        Ok(ins[0]
-            .iter()
-            .map(|w| WindFarm::power_fraction(*w) * 3.0 * 10.0)
-            .collect())
+        Ok(ins[0].iter().map(|w| WindFarm::power_fraction(*w) * 3.0 * 10.0).collect())
     });
     let plume = g.add_task("plume", &[met], |_| {
         let model = reference_site(24);
@@ -106,10 +103,7 @@ fn failure_in_one_task_aborts_the_workflow() {
     let b = g.add_task("corrupted-decoder", &[a], |_| Err("bad CRC on FCD chunk".into()));
     let _ = g.add_task("downstream", &[b], |ins| Ok(*ins[0] * 2.0));
     let err = g.run(2).unwrap_err();
-    assert_eq!(
-        err.to_string(),
-        "task 'corrupted-decoder' failed: bad CRC on FCD chunk"
-    );
+    assert_eq!(err.to_string(), "task 'corrupted-decoder' failed: bad CRC on FCD chunk");
 }
 
 #[test]
