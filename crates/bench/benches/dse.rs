@@ -1,0 +1,158 @@
+//! E18: parallel, memoized design-space exploration. Compiles a
+//! four-kernel source (two structurally identical pairs) over the default
+//! design space at `jobs = 1` (sequential reference), `2` and `4`
+//! (pooled, memoized engine), checks the outputs are bit-identical, and
+//! writes the wall-clock/cache trajectory to `BENCH_dse.json` at the
+//! repository root.
+//!
+//! Run with `cargo bench -p everest-bench --bench dse`.
+
+use everest::Sdk;
+use serde_json::Value;
+use std::time::Instant;
+
+/// Two gemm kernels and two stencil kernels: the pairs are structurally
+/// identical, so the synthesis cache shares results across kernels on top
+/// of collapsing same-config points within one kernel.
+const SRC: &str = "
+    kernel gemm_a(a: tensor<32x32xf64>, b: tensor<32x32xf64>) -> tensor<32x32xf64> {
+        return a @ b;
+    }
+    kernel gemm_b(a: tensor<32x32xf64>, b: tensor<32x32xf64>) -> tensor<32x32xf64> {
+        return a @ b;
+    }
+    kernel smooth_a(x: tensor<256xf64>) -> tensor<256xf64> {
+        return stencil(x, [0.25, 0.5, 0.25]);
+    }
+    kernel smooth_b(x: tensor<256xf64>) -> tensor<256xf64> {
+        return stencil(x, [0.25, 0.5, 0.25]);
+    }
+";
+
+const RUNS: usize = 5;
+
+struct Run {
+    jobs: usize,
+    wall_ms: f64,
+    points: usize,
+    points_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+fn fingerprint(compiled: &everest::Compiled) -> String {
+    let mut out = String::new();
+    for kernel in &compiled.kernels {
+        for v in &kernel.variants {
+            out.push_str(&serde_json::to_string(v).expect("variant serializes"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Times one full compile at the given worker count with a cold synthesis
+/// cache, returning the wall clock, cache counters and output fingerprint.
+fn measure(jobs: usize) -> (Run, String) {
+    let sdk = Sdk::new().with_jobs(jobs);
+    let points = sdk.space.size();
+
+    // Warm-up run (cold allocator, lazy statics), then keep the fastest
+    // of RUNS cold-cache runs to suppress scheduler noise.
+    everest::hls::cache::global().clear();
+    let compiled = sdk.compile(SRC).expect("compiles");
+    let fp = fingerprint(&compiled);
+    let kernels = compiled.kernels.len();
+
+    let mut best = f64::INFINITY;
+    let mut hits = 0;
+    let mut misses = 0;
+    for _ in 0..RUNS {
+        everest::hls::cache::global().clear();
+        let before = everest_telemetry::metrics().snapshot();
+        let start = Instant::now();
+        let out = sdk.compile(SRC).expect("compiles");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let after = everest_telemetry::metrics().snapshot();
+        assert_eq!(fp, fingerprint(&out), "jobs={jobs} output drifted between runs");
+        if wall < best {
+            best = wall;
+            hits = after.counter("dse.hls.cache.hit") - before.counter("dse.hls.cache.hit");
+            misses = after.counter("dse.hls.cache.miss") - before.counter("dse.hls.cache.miss");
+        }
+    }
+
+    let total_points = points * kernels;
+    let lookups = hits + misses;
+    let run = Run {
+        jobs,
+        wall_ms: best,
+        points: total_points,
+        points_per_sec: total_points as f64 / (best / 1e3),
+        cache_hits: hits,
+        cache_misses: misses,
+        hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+    };
+    (run, fp)
+}
+
+fn main() {
+    let mut runs = Vec::new();
+    let mut reference_fp: Option<String> = None;
+    for jobs in [1usize, 2, 4] {
+        let (run, fp) = measure(jobs);
+        match &reference_fp {
+            None => reference_fp = Some(fp),
+            Some(reference) => {
+                assert_eq!(reference, &fp, "jobs={jobs} diverged from the sequential reference");
+            }
+        }
+        println!(
+            "jobs={:<2} wall={:>8.2} ms  {:>8.0} points/s  cache {}h/{}m ({:.0}% hit)",
+            run.jobs,
+            run.wall_ms,
+            run.points_per_sec,
+            run.cache_hits,
+            run.cache_misses,
+            run.hit_rate * 100.0
+        );
+        runs.push(run);
+    }
+
+    let wall_1 = runs[0].wall_ms;
+    let wall_4 = runs[runs.len() - 1].wall_ms;
+    let speedup = wall_1 / wall_4;
+    let hit_rate = runs[runs.len() - 1].hit_rate;
+    println!("speedup jobs=4 vs jobs=1: {speedup:.2}x, memoized hit rate {:.0}%", hit_rate * 100.0);
+
+    let json = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("dse".to_owned())),
+        ("experiment".to_owned(), Value::Str("E18".to_owned())),
+        ("kernels".to_owned(), Value::UInt(4)),
+        (
+            "runs".to_owned(),
+            Value::Array(
+                runs.iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("jobs".to_owned(), Value::UInt(r.jobs as u64)),
+                            ("wall_ms".to_owned(), Value::Float(r.wall_ms)),
+                            ("points".to_owned(), Value::UInt(r.points as u64)),
+                            ("points_per_sec".to_owned(), Value::Float(r.points_per_sec)),
+                            ("cache_hits".to_owned(), Value::UInt(r.cache_hits)),
+                            ("cache_misses".to_owned(), Value::UInt(r.cache_misses)),
+                            ("hit_rate".to_owned(), Value::Float(r.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("speedup_jobs4_vs_jobs1".to_owned(), Value::Float(speedup)),
+        ("outputs_identical".to_owned(), Value::Bool(true)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
+        .expect("writes BENCH_dse.json");
+    println!("wrote {path}");
+}

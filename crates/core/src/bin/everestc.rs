@@ -10,7 +10,9 @@
 //!
 //! The global `--trace <out.json>` flag records every compiler phase and
 //! writes a Chrome trace-event file loadable in `chrome://tracing` or
-//! Perfetto.
+//! Perfetto. The global `--jobs <n>` flag sets the DSE worker count:
+//! `--jobs 1` runs the sequential reference evaluator, `--jobs 2` and up
+//! the pooled, memoized engine — outputs are identical either way.
 
 use everest::Sdk;
 use everest_telemetry::export::{chrome_trace_json, flame_summary, spans_to_events};
@@ -18,17 +20,21 @@ use everest_telemetry::Tracer;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  everestc [--trace <out.json>] ir <kernels.edsl>
-  everestc [--trace <out.json>] variants <kernels.edsl>
-  everestc [--trace <out.json>] rtl <kernels.edsl> <kernel>
-  everestc [--trace <out.json>] workflow <pipeline.ewf>
-  everestc [--trace <out.json>] profile <kernels.edsl>
+  everestc [--trace <out.json>] [--jobs <n>] ir <kernels.edsl>
+  everestc [--trace <out.json>] [--jobs <n>] variants <kernels.edsl>
+  everestc [--trace <out.json>] [--jobs <n>] rtl <kernels.edsl> <kernel>
+  everestc [--trace <out.json>] [--jobs <n>] workflow <pipeline.ewf>
+  everestc [--trace <out.json>] [--jobs <n>] profile <kernels.edsl>
   everestc help | --help | -h
   everestc --version | -V
 
 options:
   --trace <out.json>   write a Chrome trace-event JSON file covering the
-                       compiler phases run by the subcommand";
+                       compiler phases run by the subcommand
+  --jobs <n>           design-space exploration workers (default: the
+                       host's available parallelism, at least 2); 1 runs
+                       the sequential reference evaluator, 2+ the pooled,
+                       memoized engine — results are identical either way";
 
 fn usage() -> u8 {
     eprintln!("{USAGE}");
@@ -56,10 +62,42 @@ fn extract_trace_flag(args: &mut Vec<String>) -> Result<Option<String>, String> 
     Ok(None)
 }
 
+/// Extracts the global `--jobs <n>` / `--jobs=<n>` flag, valid in any
+/// position. Defaults to the host's available parallelism (at least 2, so
+/// the memoized engine is on by default).
+fn extract_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let raw = if let Some(at) = args.iter().position(|a| a == "--jobs") {
+        if at + 1 >= args.len() {
+            return Err("--jobs requires a worker count".to_owned());
+        }
+        let value = args.remove(at + 1);
+        args.remove(at);
+        Some(value)
+    } else {
+        args.iter()
+            .position(|a| a.starts_with("--jobs="))
+            .map(|at| args.remove(at)["--jobs=".len()..].to_owned())
+    };
+    match raw {
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs requires a positive worker count, got '{value}'")),
+        },
+        None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_path = match extract_trace_flag(&mut args) {
         Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = match extract_jobs_flag(&mut args) {
+        Ok(jobs) => jobs,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -88,7 +126,7 @@ fn main() -> ExitCode {
         everest_telemetry::metrics().reset();
     }
 
-    let result = run(cmd, rest);
+    let result = run(cmd, rest, jobs);
 
     let spans = everest_telemetry::take_global().finish();
     if let Some(path) = &trace_path {
@@ -131,8 +169,8 @@ fn read(path: &str) -> Result<String, Box<dyn std::error::Error>> {
     Ok(std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?)
 }
 
-fn run(cmd: &str, rest: &[String]) -> Result<u8, Box<dyn std::error::Error>> {
-    let sdk = Sdk::new();
+fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error::Error>> {
+    let sdk = Sdk::new().with_jobs(jobs);
     match (cmd, rest) {
         ("ir", [path]) => {
             let source = read(path)?;

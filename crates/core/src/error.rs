@@ -14,6 +14,8 @@ pub enum SdkError {
     Ir(everest_ir::IrError),
     /// HLS synthesis failure.
     Hls(everest_hls::HlsError),
+    /// Malformed design space rejected before enumeration.
+    DesignSpace(String),
     /// Platform/deployment failure.
     Platform(everest_platform::PlatformError),
     /// Runtime failure.
@@ -28,6 +30,7 @@ impl fmt::Display for SdkError {
             SdkError::Dsl(e) => write!(f, "dsl: {e}"),
             SdkError::Ir(e) => write!(f, "ir: {e}"),
             SdkError::Hls(e) => write!(f, "hls: {e}"),
+            SdkError::DesignSpace(msg) => write!(f, "design space: {msg}"),
             SdkError::Platform(e) => write!(f, "platform: {e}"),
             SdkError::Runtime(e) => write!(f, "runtime: {e}"),
             SdkError::Workflow(e) => write!(f, "workflow: {e}"),
@@ -52,6 +55,15 @@ impl From<everest_ir::IrError> for SdkError {
 impl From<everest_hls::HlsError> for SdkError {
     fn from(e: everest_hls::HlsError) -> SdkError {
         SdkError::Hls(e)
+    }
+}
+
+impl From<everest_variants::VariantError> for SdkError {
+    fn from(e: everest_variants::VariantError) -> SdkError {
+        match e {
+            everest_variants::VariantError::Hls(e) => SdkError::Hls(e),
+            everest_variants::VariantError::Space(msg) => SdkError::DesignSpace(msg),
+        }
     }
 }
 

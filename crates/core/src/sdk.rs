@@ -71,6 +71,10 @@ pub struct Sdk {
     pub hls: HlsConfig,
     /// The target system model.
     pub system: System,
+    /// DSE worker count: `1` runs the sequential reference evaluator,
+    /// `>= 2` the pooled, memoized engine. Outputs are bit-identical
+    /// either way.
+    pub jobs: usize,
 }
 
 impl Default for Sdk {
@@ -87,12 +91,20 @@ impl Sdk {
             space: DesignSpace::default(),
             hls: HlsConfig::default(),
             system: System::everest_reference(),
+            jobs: 2,
         }
     }
 
     /// An SDK with a minimal design space (fast unit tests / examples).
     pub fn small() -> Sdk {
         Sdk { space: DesignSpace::small(), ..Sdk::new() }
+    }
+
+    /// Sets the DSE worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Sdk {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Compiles tensor-DSL source: parse + type-check, lower to the unified
@@ -110,12 +122,17 @@ impl Sdk {
             let _span = everest_telemetry::span("ir.verify", "ir");
             module.verify()?;
         }
-        let mut kernels = Vec::new();
-        for func in module.iter() {
-            let variants = everest_variants::generate(func, &self.space)?;
-            kernels.push(CompiledKernel { name: func.name.clone(), variants });
-        }
+        let kernels = {
+            let funcs: Vec<&everest_ir::Func> = module.iter().collect();
+            let sets = everest_variants::generate_all(&funcs, &self.space, self.jobs)?;
+            funcs
+                .iter()
+                .zip(sets)
+                .map(|(func, variants)| CompiledKernel { name: func.name.clone(), variants })
+                .collect::<Vec<_>>()
+        };
         compile_span.attr("kernels", kernels.len());
+        compile_span.attr("jobs", self.jobs);
         Ok(Compiled { module, kernels })
     }
 

@@ -83,12 +83,56 @@ pub struct Accelerator {
 impl Accelerator {
     /// Wall-clock execution time of one invocation in microseconds.
     pub fn time_us(&self) -> f64 {
-        self.latency_cycles as f64 / self.clock_mhz
+        self.summary().time_us()
     }
 
     /// Estimated dynamic energy in microjoules, using a simple
     /// activity-proportional model (~0.1 nJ per LUT-activity-cycle at the
     /// modeled node, scaled down by a 0.1 activity factor).
+    pub fn energy_uj(&self) -> f64 {
+        self.summary().energy_uj()
+    }
+
+    /// The name-independent numeric summary of this synthesis run: the
+    /// part worth memoizing across structurally identical kernels (the
+    /// RTL text embeds the kernel name, the summary does not).
+    pub fn summary(&self) -> SynthSummary {
+        SynthSummary {
+            latency_cycles: self.latency_cycles,
+            innermost_ii: self.innermost_ii,
+            pe: self.pe,
+            area: self.area,
+            clock_mhz: self.clock_mhz,
+        }
+    }
+}
+
+/// The numeric outcome of one synthesis run, detached from the kernel
+/// name and RTL text so it can be shared through the
+/// [synthesis cache](crate::cache) by every variant (and every
+/// structurally identical kernel) that maps to the same configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthSummary {
+    /// Total latency of one invocation, in cycles.
+    pub latency_cycles: u64,
+    /// Worst initiation interval among pipelined innermost loops.
+    pub innermost_ii: u64,
+    /// Effective processing-element count the design exploits.
+    pub pe: usize,
+    /// Post-binding area, including buffers (and DIFT if enabled).
+    pub area: AreaReport,
+    /// Clock frequency the estimate assumes, in MHz.
+    pub clock_mhz: f64,
+}
+
+impl SynthSummary {
+    /// Wall-clock execution time of one invocation in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.latency_cycles as f64 / self.clock_mhz
+    }
+
+    /// Estimated dynamic energy in microjoules (same model as
+    /// [`Accelerator::energy_uj`]).
     pub fn energy_uj(&self) -> f64 {
         let power_w = 0.5 + self.area.luts as f64 * 2.0e-5; // static + dynamic
         power_w * self.time_us() * 1e-6 * 1e6

@@ -19,7 +19,10 @@
 //!    reports its area/latency overhead;
 //! 8. [`rtl`] emits a Verilog-subset FSMD description;
 //! 9. [`accel`] drives the whole flow and produces an [`accel::Accelerator`]
-//!    with latency, area and RTL artifacts.
+//!    with latency, area and RTL artifacts;
+//! 10. [`cache`] memoizes synthesis summaries by structural kernel hash +
+//!     configuration key, so design-space exploration never synthesizes
+//!     the same point twice.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@
 
 pub mod accel;
 pub mod binding;
+pub mod cache;
 pub mod cdfg;
 pub mod dift;
 pub mod error;
@@ -48,6 +52,7 @@ pub mod rtl;
 pub mod schedule;
 pub mod tensor_to_loops;
 
-pub use accel::{synthesize, Accelerator, HlsConfig};
+pub use accel::{synthesize, Accelerator, HlsConfig, SynthSummary};
+pub use cache::{synthesize_cached, SynthCache};
 pub use error::{HlsError, HlsResult};
 pub use oplib::{AreaReport, FuKind};

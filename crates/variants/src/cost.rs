@@ -8,7 +8,7 @@
 use crate::analysis::KernelWorkload;
 use crate::transform::{Layout, SpecExt, Target, Transform};
 use crate::variant::Metrics;
-use everest_hls::accel::{synthesize, HlsConfig};
+use everest_hls::accel::{synthesize, HlsConfig, SynthSummary};
 use everest_hls::dift::DiftConfig;
 use everest_hls::memory::Scheme;
 use everest_hls::HlsError;
@@ -28,7 +28,8 @@ const BUS_BW_GBPS: f64 = 22.0;
 const NET_LAT_US: f64 = 4.0;
 const NET_BW_GBPS: f64 = 1.2;
 
-/// Evaluates one variant specification.
+/// Evaluates one variant specification, synthesizing hardware points
+/// directly (the sequential reference path).
 ///
 /// # Errors
 ///
@@ -41,6 +42,30 @@ pub fn evaluate(
     match spec.target() {
         Target::Cpu => Ok(software_metrics(workload, spec)),
         target => hardware_metrics(func, workload, spec, target),
+    }
+}
+
+/// Evaluates one variant specification through the shared
+/// [synthesis cache](everest_hls::cache): hardware points whose
+/// HLS-relevant knobs match an already-synthesized point reuse its
+/// summary instead of re-running synthesis. Metrics are derived from the
+/// same [`SynthSummary`] either way, so the result is bit-identical to
+/// [`evaluate`].
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from hardware synthesis on a cache miss.
+pub fn evaluate_memo(
+    func: &Func,
+    workload: &KernelWorkload,
+    spec: &[Transform],
+) -> Result<Metrics, HlsError> {
+    match spec.target() {
+        Target::Cpu => Ok(software_metrics(workload, spec)),
+        target => {
+            let summary = everest_hls::cache::synthesize_cached(func, &hls_config(spec))?;
+            Ok(metrics_from_summary(&summary, workload, target))
+        }
     }
 }
 
@@ -68,13 +93,12 @@ pub fn software_metrics(workload: &KernelWorkload, spec: &[Transform]) -> Metric
     Metrics { latency_us, transfer_us: 0.0, energy_mj, area_luts: 0, area_brams: 0 }
 }
 
-fn hardware_metrics(
-    func: &Func,
-    workload: &KernelWorkload,
-    spec: &[Transform],
-    target: Target,
-) -> Result<Metrics, HlsError> {
-    let config = HlsConfig {
+/// The HLS configuration a hardware variant specification selects. Note
+/// that software knobs (threads, layout, tile) and the attachment target
+/// never reach the configuration — variants differing only in those share
+/// a synthesis result.
+pub fn hls_config(spec: &[Transform]) -> HlsConfig {
+    HlsConfig {
         banks: spec.banks(),
         pipeline: spec.pipelined(),
         scheme: Scheme::Cyclic,
@@ -83,8 +107,16 @@ fn hardware_metrics(
         ports_per_bank: 2,
         dift: spec.dift().then(DiftConfig::default),
         ..HlsConfig::default()
-    };
-    let acc = synthesize(func, &config)?;
+    }
+}
+
+/// Derives variant metrics from a synthesis summary plus the
+/// attachment's transfer cost.
+fn metrics_from_summary(
+    summary: &SynthSummary,
+    workload: &KernelWorkload,
+    target: Target,
+) -> Metrics {
     let (lat, bw) = match target {
         Target::FpgaBus => (BUS_LAT_US, BUS_BW_GBPS),
         Target::FpgaNetwork => (NET_LAT_US, NET_BW_GBPS),
@@ -92,13 +124,23 @@ fn hardware_metrics(
     };
     let transfer_us = 2.0 * lat + workload.bytes / (bw * 1e3);
     let transfer_energy_mj = workload.bytes * 20e-9 * 1e3 * 1e-6; // 20 nJ/B
-    Ok(Metrics {
-        latency_us: acc.time_us(),
+    Metrics {
+        latency_us: summary.time_us(),
         transfer_us,
-        energy_mj: acc.energy_uj() * 1e-3 + transfer_energy_mj,
-        area_luts: acc.area.luts,
-        area_brams: acc.area.brams,
-    })
+        energy_mj: summary.energy_uj() * 1e-3 + transfer_energy_mj,
+        area_luts: summary.area.luts,
+        area_brams: summary.area.brams,
+    }
+}
+
+fn hardware_metrics(
+    func: &Func,
+    workload: &KernelWorkload,
+    spec: &[Transform],
+    target: Target,
+) -> Result<Metrics, HlsError> {
+    let summary = synthesize(func, &hls_config(spec))?.summary();
+    Ok(metrics_from_summary(&summary, workload, target))
 }
 
 #[cfg(test)]

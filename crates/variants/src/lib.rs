@@ -11,8 +11,10 @@
 //!   tiling, FPGA offload, banking, pipelining, DIFT hardening);
 //! * [`cost`] — software (roofline-style) and hardware (via
 //!   [`everest_hls`]) cost models;
-//! * [`space`] — design-space enumeration;
-//! * [`pareto`] — Pareto-front filtering over (latency, energy, area);
+//! * [`space`] — design-space enumeration and validation;
+//! * [`pareto`] — O(n log n) Pareto-front filtering over (latency,
+//!   energy, area);
+//! * [`error`] — the [`VariantError`] DSE failure type;
 //! * [`variant`] — the [`variant::Variant`] records, serializable as the
 //!   "meta-information about the variants ... provided to the runtime".
 //!
@@ -31,37 +33,109 @@
 
 pub mod analysis;
 pub mod cost;
+pub mod error;
 pub mod pareto;
 pub mod space;
 pub mod transform;
 pub mod variant;
 
 pub use analysis::KernelWorkload;
+pub use error::{VariantError, VariantResult};
 pub use transform::{Layout, Target, Transform};
 pub use variant::{Metrics, Variant};
 
-use everest_hls::HlsError;
 use everest_ir::Func;
+use everest_workflow::pool;
 
-/// Generates the full variant set for a kernel over a design space.
+/// Generates the full variant set for a kernel over a design space using
+/// the sequential reference evaluator (`jobs = 1`).
 ///
 /// # Errors
 ///
-/// Propagates HLS failures for hardware points.
-pub fn generate(func: &Func, space: &space::DesignSpace) -> Result<Vec<Variant>, HlsError> {
-    let mut span = everest_telemetry::span("variants.generate", "variants");
-    span.attr("kernel", &func.name);
-    span.attr("space", space.size());
-    let workload = analysis::analyze(func);
-    let mut variants = Vec::new();
-    for (i, spec) in space.enumerate().into_iter().enumerate() {
-        let metrics = cost::evaluate(func, &workload, &spec)?;
-        variants.push(Variant {
-            id: format!("{}#{}", func.name, i),
-            kernel: func.name.clone(),
-            transforms: spec,
-            metrics,
-        });
+/// Returns [`VariantError`] for a malformed space or an HLS failure.
+pub fn generate(func: &Func, space: &space::DesignSpace) -> VariantResult<Vec<Variant>> {
+    generate_jobs(func, space, 1)
+}
+
+/// Generates the variant set for one kernel with `jobs` workers.
+///
+/// See [`generate_all`] for the `jobs` semantics.
+///
+/// # Errors
+///
+/// Returns [`VariantError`] for a malformed space or an HLS failure.
+pub fn generate_jobs(
+    func: &Func,
+    space: &space::DesignSpace,
+    jobs: usize,
+) -> VariantResult<Vec<Variant>> {
+    Ok(generate_all(&[func], space, jobs)?.pop().expect("one variant set per kernel"))
+}
+
+/// The DSE engine: evaluates every design point of every kernel, fanning
+/// the flattened (kernel × point) batch across `jobs` pool workers.
+///
+/// * `jobs == 1` runs the sequential reference flow: every point is
+///   evaluated in enumeration order on the calling thread and every
+///   hardware point synthesizes directly (no memoization) — exactly the
+///   historical behavior.
+/// * `jobs >= 2` engages the parallel, memoized engine: points are
+///   evaluated concurrently and hardware synthesis goes through the
+///   shared [`everest_hls::cache`], collapsing the redundancy between
+///   points that differ only in software knobs or attachment target and
+///   sharing results across structurally identical kernels.
+///
+/// Results are written back by enumeration index, so variant ids,
+/// ordering and metrics are bit-identical at any worker count; on
+/// failure, the error of the lowest-indexed failing point is returned
+/// regardless of evaluation order.
+///
+/// # Errors
+///
+/// Returns [`VariantError::Space`] for a malformed space and
+/// [`VariantError::Hls`] when a hardware point fails to synthesize.
+pub fn generate_all(
+    funcs: &[&Func],
+    space: &space::DesignSpace,
+    jobs: usize,
+) -> VariantResult<Vec<Vec<Variant>>> {
+    space.validate()?;
+    let specs = space.enumerate();
+    let points = specs.len();
+    let mut dse_span = everest_telemetry::span("dse.evaluate", "variants");
+    dse_span.attr("kernels", funcs.len());
+    dse_span.attr("points", points * funcs.len());
+    dse_span.attr("jobs", jobs.max(1));
+    let workloads: Vec<KernelWorkload> = funcs.iter().map(|f| analysis::analyze(f)).collect();
+
+    let items: Vec<(usize, usize)> =
+        (0..funcs.len()).flat_map(|k| (0..points).map(move |i| (k, i))).collect();
+    let memoize = jobs >= 2;
+    let evaluated = pool::parallel_map("dse.worker", jobs, items, |_, (k, i)| {
+        if memoize {
+            cost::evaluate_memo(funcs[k], &workloads[k], &specs[i])
+        } else {
+            cost::evaluate(funcs[k], &workloads[k], &specs[i])
+        }
+    });
+
+    let mut sets = Vec::with_capacity(funcs.len());
+    let mut results = evaluated.into_iter();
+    for func in funcs {
+        let mut span = everest_telemetry::span("variants.generate", "variants");
+        span.attr("kernel", &func.name);
+        span.attr("space", points);
+        let mut variants = Vec::with_capacity(points);
+        for (i, spec) in specs.iter().enumerate() {
+            let metrics = results.next().expect("one result per point")?;
+            variants.push(Variant {
+                id: format!("{}#{}", func.name, i),
+                kernel: func.name.clone(),
+                transforms: spec.clone(),
+                metrics,
+            });
+        }
+        sets.push(variants);
     }
-    Ok(variants)
+    Ok(sets)
 }

@@ -17,15 +17,88 @@ pub fn dominates(a: &Variant, b: &Variant) -> bool {
     no_worse && better
 }
 
+/// An `f64` ordered by [`f64::total_cmp`], usable as a `BTreeMap` key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &OrdF64) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &OrdF64) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Flags the dominated variants in O(n log n): sort by (time, energy,
+/// area), then sweep groups of equal objective vectors against a
+/// staircase of the processed points' (energy, min area). A point is
+/// dominated iff some lexicographically smaller point (which necessarily
+/// has time ≤ its time, and differs in at least one objective) is no
+/// worse in energy and area — exactly the strict-dominance predicate of
+/// [`dominates`]. Equal vectors share a group and never dominate each
+/// other.
+fn dominated_flags(variants: &[Variant]) -> Vec<bool> {
+    let objs: Vec<(f64, f64, u64)> = variants.iter().map(objectives).collect();
+    let mut order: Vec<usize> = (0..variants.len()).collect();
+    order.sort_by(|&a, &b| {
+        objs[a]
+            .0
+            .total_cmp(&objs[b].0)
+            .then(objs[a].1.total_cmp(&objs[b].1))
+            .then(objs[a].2.cmp(&objs[b].2))
+    });
+
+    let mut dominated = vec![false; variants.len()];
+    // Staircase over processed groups: energy → minimal area among points
+    // with energy ≤ key; areas strictly decrease as energies increase.
+    let mut stairs: std::collections::BTreeMap<OrdF64, u64> = std::collections::BTreeMap::new();
+    let mut g = 0;
+    while g < order.len() {
+        let mut h = g + 1;
+        while h < order.len() && objs[order[h]] == objs[order[g]] {
+            h += 1;
+        }
+        let (_, energy, area) = objs[order[g]];
+        if stairs.range(..=OrdF64(energy)).next_back().is_some_and(|(_, &a)| a <= area) {
+            for &i in &order[g..h] {
+                dominated[i] = true;
+            }
+        } else {
+            // The group improves the staircase: remove the entries it
+            // covers (energy ≥ this, area ≥ this), then insert. Each
+            // entry is inserted and removed at most once overall.
+            let covered: Vec<OrdF64> = stairs
+                .range(OrdF64(energy)..)
+                .take_while(|(_, &a)| a >= area)
+                .map(|(&e, _)| e)
+                .collect();
+            for e in covered {
+                stairs.remove(&e);
+            }
+            stairs.insert(OrdF64(energy), area);
+        }
+        g = h;
+    }
+    dominated
+}
+
 /// Extracts the Pareto-optimal subset (non-dominated variants), preserving
-/// input order.
+/// input order. Runs in O(n log n) via a sort-then-sweep filter.
 pub fn pareto_front(variants: &[Variant]) -> Vec<Variant> {
     let mut span = everest_telemetry::span("variants.pareto", "variants");
     span.attr("candidates", variants.len());
+    let dominated = dominated_flags(variants);
     let front: Vec<Variant> = variants
         .iter()
-        .filter(|v| !variants.iter().any(|other| dominates(other, v)))
-        .cloned()
+        .zip(&dominated)
+        .filter(|(_, dominated)| !**dominated)
+        .map(|(v, _)| v.clone())
         .collect();
     span.attr("front", front.len());
     front

@@ -1,5 +1,6 @@
 //! Design-space definition and enumeration.
 
+use crate::error::VariantError;
 use crate::transform::{Layout, Target, Transform};
 
 /// The knob domains a design-space exploration sweeps.
@@ -58,6 +59,51 @@ impl DesignSpace {
             dift: Vec::new(),
             ..DesignSpace::default()
         }
+    }
+
+    /// Checks the space describes at least one design point and that no
+    /// knob dimension silently zeroes out a cross product.
+    ///
+    /// Each knob group (software: threads/layouts/tiles, hardware:
+    /// hw_targets/banks/pes/dift) must be either fully populated or fully
+    /// empty — an empty dimension inside a populated group would make
+    /// [`DesignSpace::enumerate`] yield zero points for the whole group
+    /// without any indication of why.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::Space`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), VariantError> {
+        let software = [
+            ("threads", self.threads.is_empty()),
+            ("layouts", self.layouts.is_empty()),
+            ("tiles", self.tiles.is_empty()),
+        ];
+        let hardware = [
+            ("hw_targets", self.hw_targets.is_empty()),
+            ("banks", self.banks.is_empty()),
+            ("pes", self.pes.is_empty()),
+            ("dift", self.dift.is_empty()),
+        ];
+        for group in [&software[..], &hardware[..]] {
+            if group.iter().any(|(_, empty)| *empty) && !group.iter().all(|(_, empty)| *empty) {
+                let empty: Vec<&str> =
+                    group.iter().filter(|(_, e)| *e).map(|(name, _)| *name).collect();
+                let set: Vec<&str> =
+                    group.iter().filter(|(_, e)| !*e).map(|(name, _)| *name).collect();
+                return Err(VariantError::Space(format!(
+                    "knob dimension(s) {empty:?} are empty while {set:?} are populated, so the \
+                     cross product enumerates zero points; give every knob in the group at least \
+                     one value, or empty the whole group to disable it"
+                )));
+            }
+        }
+        if software.iter().all(|(_, empty)| *empty) && hardware.iter().all(|(_, empty)| *empty) {
+            return Err(VariantError::Space(
+                "every knob dimension is empty: the space describes no design points".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Enumerates every point: the cross product of software knobs plus
@@ -126,6 +172,42 @@ mod tests {
     fn software_only_space_has_no_fpga_points() {
         let s = DesignSpace::software_only();
         assert!(s.enumerate().iter().all(|spec| !spec.target().is_fpga()));
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_spaces() {
+        assert!(DesignSpace::default().validate().is_ok());
+        assert!(DesignSpace::small().validate().is_ok());
+        assert!(DesignSpace::software_only().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_knob_inside_populated_group() {
+        let space = DesignSpace { threads: Vec::new(), ..DesignSpace::default() };
+        assert_eq!(space.enumerate().len(), 8, "software points silently vanish");
+        let err = space.validate().unwrap_err();
+        let VariantError::Space(msg) = err else {
+            panic!("expected a space error");
+        };
+        assert!(msg.contains("threads"), "error should name the empty knob: {msg}");
+
+        let space = DesignSpace { pes: Vec::new(), dift: Vec::new(), ..DesignSpace::default() };
+        assert!(space.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_fully_empty_space() {
+        let space = DesignSpace {
+            threads: Vec::new(),
+            layouts: Vec::new(),
+            tiles: Vec::new(),
+            hw_targets: Vec::new(),
+            banks: Vec::new(),
+            pes: Vec::new(),
+            dift: Vec::new(),
+        };
+        assert_eq!(space.enumerate().len(), 0);
+        assert!(matches!(space.validate(), Err(VariantError::Space(_))));
     }
 
     #[test]

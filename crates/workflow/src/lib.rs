@@ -11,7 +11,9 @@
 //! * [`exec`] — a deterministic distributed-execution simulator producing
 //!   makespans, schedules and utilization;
 //! * [`parallel`] — a real multi-threaded executor that runs closures as
-//!   tasks with dependency-ordered hand-off.
+//!   tasks with dependency-ordered hand-off;
+//! * [`pool`] — a scoped parallel-map over independent items with
+//!   index-stable result order (the DSE engine's fan-out primitive).
 //!
 //! ## Example
 //!
@@ -34,6 +36,7 @@ pub mod error;
 pub mod exec;
 pub mod graph;
 pub mod parallel;
+pub mod pool;
 pub mod scheduler;
 pub mod worker;
 

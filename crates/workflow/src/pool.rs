@@ -1,0 +1,131 @@
+//! A scoped thread-pool / parallel-map utility: evaluate a batch of
+//! independent items on `jobs` worker threads with results written back
+//! by input index, so the output order is identical to a sequential map
+//! at any worker count.
+//!
+//! This is the building block the DSE engine uses to fan out design-point
+//! evaluation; it reuses the same crossbeam channel + parking_lot shims
+//! as [`crate::parallel`].
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` on up to `jobs` worker threads.
+///
+/// Results land at the index of the item that produced them, so
+/// `parallel_map(label, jobs, items, f)` returns exactly what the
+/// sequential `items.into_iter().enumerate().map(f).collect()` would,
+/// for any `jobs`. With `jobs <= 1` (or fewer than two items) the map
+/// runs inline on the calling thread with no pool setup.
+///
+/// Each worker opens a telemetry span named `label` (category `pool`)
+/// tagged with its worker index and the number of items it processed.
+pub fn parallel_map<T, R, F>(label: &str, jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        let mut span = everest_telemetry::span(label, "pool");
+        span.attr("worker", 0);
+        span.attr("items", n);
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // The whole batch is enqueued up front, so workers drain with
+    // non-blocking receives and exit when the queue is empty.
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        assert!(work_tx.send(pair).is_ok(), "receiver alive");
+    }
+    drop(work_tx);
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let work_rx = work_rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                let mut span = everest_telemetry::span(label, "pool");
+                span.attr("worker", worker);
+                let mut done = 0usize;
+                while let Some((i, item)) = work_rx.try_recv() {
+                    let out = f(i, item);
+                    results.lock()[i] = Some(out);
+                    done += 1;
+                }
+                span.attr("items", done);
+            });
+        }
+    });
+    results.into_inner().into_iter().map(|slot| slot.expect("worker filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let got = parallel_map("test.map", jobs, items.clone(), |_, x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = parallel_map("test.map", 4, vec!['a', 'b', 'c', 'd'], |i, c| (i, c));
+        assert_eq!(got, vec![(0, 'a'), (1, 'b'), (2, 'c'), (3, 'd')]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let out = parallel_map("test.map", 8, (0..64).collect::<Vec<i32>>(), |_, x| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn workers_actually_overlap() {
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static CURRENT: AtomicUsize = AtomicUsize::new(0);
+        parallel_map("test.map", 4, (0..8).collect::<Vec<i32>>(), |_, x| {
+            let now = CURRENT.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            CURRENT.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "workers should overlap");
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let got: Vec<i32> = parallel_map("test.map", 4, Vec::<i32>::new(), |_, x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn results_can_carry_errors() {
+        let got = parallel_map("test.map", 2, vec![1i32, -1, 2], |_, x| {
+            if x < 0 {
+                Err("negative".to_owned())
+            } else {
+                Ok(x * 10)
+            }
+        });
+        assert_eq!(got, vec![Ok(10), Err("negative".to_owned()), Ok(20)]);
+    }
+}
