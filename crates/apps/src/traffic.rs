@@ -16,6 +16,8 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BinaryHeap;
 
+pub mod service;
+
 /// Hour bins per day for the speed profiles.
 pub const HOUR_BINS: usize = 24;
 
@@ -199,35 +201,43 @@ impl SpeedProfiles {
     }
 }
 
-/// Dijkstra over expected travel times at a fixed departure hour; returns
-/// the edge sequence, or `None` when unreachable.
-pub fn shortest_route(
+/// Min-heap entry for [`dijkstra_route`]: (distance, node), ordered so
+/// [`BinaryHeap::pop`] yields the closest frontier node first.
+#[derive(PartialEq)]
+struct HeapItem(f64, usize);
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.total_cmp(&self.0) // min-heap
+    }
+}
+
+/// Dijkstra over an arbitrary non-negative per-edge cost, shared by the
+/// profile-based and load-based routers. `adj` is the network's
+/// [`RoadNetwork::adjacency`] table (passed in so callers routing many
+/// pairs build it once). Returns the edge sequence from `from` to `to`,
+/// or `None` when unreachable.
+fn dijkstra_route(
     network: &RoadNetwork,
-    profiles: &SpeedProfiles,
+    adj: &[Vec<usize>],
     from: usize,
     to: usize,
-    hour: usize,
+    edge_cost: impl Fn(usize) -> f64,
 ) -> Option<Vec<usize>> {
-    #[derive(PartialEq)]
-    struct Item(f64, usize);
-    impl Eq for Item {}
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.total_cmp(&self.0) // min-heap
-        }
-    }
-    let adj = network.adjacency();
     let mut dist = vec![f64::INFINITY; network.nodes.len()];
     let mut pred_edge = vec![usize::MAX; network.nodes.len()];
     let mut heap = BinaryHeap::new();
     dist[from] = 0.0;
-    heap.push(Item(0.0, from));
-    while let Some(Item(d, node)) = heap.pop() {
+    heap.push(HeapItem(0.0, from));
+    while let Some(HeapItem(d, node)) = heap.pop() {
         if node == to {
             break;
         }
@@ -236,12 +246,11 @@ pub fn shortest_route(
         }
         for &ei in &adj[node] {
             let e = &network.edges[ei];
-            let speed = profiles.mean_speed(ei, hour).max(3.0);
-            let nd = d + e.length_km / speed;
+            let nd = d + edge_cost(ei);
             if nd < dist[e.to] {
                 dist[e.to] = nd;
                 pred_edge[e.to] = ei;
-                heap.push(Item(nd, e.to));
+                heap.push(HeapItem(nd, e.to));
             }
         }
     }
@@ -259,6 +268,21 @@ pub fn shortest_route(
     Some(route)
 }
 
+/// Dijkstra over expected travel times at a fixed departure hour; returns
+/// the edge sequence, or `None` when unreachable.
+pub fn shortest_route(
+    network: &RoadNetwork,
+    profiles: &SpeedProfiles,
+    from: usize,
+    to: usize,
+    hour: usize,
+) -> Option<Vec<usize>> {
+    let adj = network.adjacency();
+    dijkstra_route(network, &adj, from, to, |ei| {
+        network.edges[ei].length_km / profiles.mean_speed(ei, hour).max(3.0)
+    })
+}
+
 /// Travel-time distribution estimated by PTDR Monte-Carlo sampling.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TravelTimeStats {
@@ -273,6 +297,11 @@ pub struct TravelTimeStats {
 /// Probabilistic time-dependent routing (ref \[37\]): samples segment speeds
 /// from the learned distributions, advancing the clock along the route so
 /// later segments see the hour they are actually traversed.
+///
+/// Delegates to the batched SoA engine in [`service`]; the original
+/// scalar implementation survives as
+/// [`service::ptdr_travel_time_reference`] for validation and as the
+/// benchmark baseline.
 pub fn ptdr_travel_time(
     network: &RoadNetwork,
     profiles: &SpeedProfiles,
@@ -281,30 +310,8 @@ pub fn ptdr_travel_time(
     samples: usize,
     seed: u64,
 ) -> TravelTimeStats {
-    assert!(samples > 0, "need at least one sample");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let mut t = 0.0f64;
-        for &ei in route {
-            let hour = ((depart_hour + t) as usize) % HOUR_BINS;
-            let mean = profiles.mean_speed(ei, hour);
-            let std = profiles.std_speed(ei, hour);
-            // Box-Muller normal sample, truncated to plausible speeds.
-            let u1: f64 = rng.gen_range(1e-9..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            let speed = (mean + std * z).clamp(3.0, network.edges[ei].free_speed_kmh * 1.1);
-            t += network.edges[ei].length_km / speed;
-        }
-        times.push(t);
-    }
-    times.sort_by(|a, b| a.total_cmp(b));
-    let n = times.len() as f64;
-    let mean = times.iter().sum::<f64>() / n;
-    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
-    let p95 = times[((0.95 * (times.len() - 1) as f64).round() as usize).min(times.len() - 1)];
-    TravelTimeStats { mean_h: mean, p95_h: p95, std_h: var.sqrt() }
+    let mut engine: service::PtdrEngine = service::PtdrEngine::new();
+    engine.estimate(network, profiles, route, depart_hour, samples, seed)
 }
 
 /// An origin/destination demand entry.
@@ -357,6 +364,7 @@ pub fn assign_traffic(
     iterations: usize,
 ) -> AssignmentReport {
     let ne = network.edges.len();
+    let adj = network.adjacency();
     let mut flows = vec![0.0f64; ne];
     let mut times: Vec<f64> = (0..ne).map(|ei| network.free_time_h(ei)).collect();
     let mut unrouted = 0;
@@ -364,9 +372,8 @@ pub fn assign_traffic(
         // All-or-nothing assignment under current times.
         let mut new_flows = vec![0.0f64; ne];
         unrouted = 0;
-        let loaded = LoadedProfiles { times: &times };
         for pair in od {
-            match shortest_route_with(network, &loaded, pair.from, pair.to, hour) {
+            match dijkstra_route(network, &adj, pair.from, pair.to, |ei| times[ei]) {
                 Some(route) => {
                     for ei in route {
                         new_flows[ei] += pair.vehicles_h;
@@ -390,65 +397,6 @@ pub fn assign_traffic(
     }
     let total: f64 = flows.iter().zip(&times).map(|(f, t)| f * t).sum();
     AssignmentReport { flows, times_h: times, total_vehicle_hours: total, unrouted }
-}
-
-/// Adapter: route over explicit edge times instead of profile speeds.
-struct LoadedProfiles<'a> {
-    times: &'a [f64],
-}
-
-fn shortest_route_with(
-    network: &RoadNetwork,
-    loaded: &LoadedProfiles<'_>,
-    from: usize,
-    to: usize,
-    _hour: usize,
-) -> Option<Vec<usize>> {
-    #[derive(PartialEq)]
-    struct Item(f64, usize);
-    impl Eq for Item {}
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.total_cmp(&self.0)
-        }
-    }
-    let adj = network.adjacency();
-    let mut dist = vec![f64::INFINITY; network.nodes.len()];
-    let mut pred = vec![usize::MAX; network.nodes.len()];
-    let mut heap = BinaryHeap::new();
-    dist[from] = 0.0;
-    heap.push(Item(0.0, from));
-    while let Some(Item(d, node)) = heap.pop() {
-        if d > dist[node] {
-            continue;
-        }
-        for &ei in &adj[node] {
-            let e = &network.edges[ei];
-            let nd = d + loaded.times[ei];
-            if nd < dist[e.to] {
-                dist[e.to] = nd;
-                pred[e.to] = ei;
-                heap.push(Item(nd, e.to));
-            }
-        }
-    }
-    if dist[to].is_infinite() {
-        return None;
-    }
-    let mut route = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let ei = pred[cur];
-        route.push(ei);
-        cur = network.edges[ei].from;
-    }
-    route.reverse();
-    Some(route)
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! Enforces the PTDR engine's zero-allocation acceptance criterion:
+//! once the SoA tables and scratch buffer reach their high-water
+//! capacity, repeated queries — fresh seeds, departures, and
+//! already-seen routes alike — perform no heap allocation, and neither
+//! does the service's cache-hit path. Lives in its own integration-test
+//! binary because it swaps in a counting global allocator (the same
+//! technique as the telemetry crate's `no_alloc` test).
+
+use everest_apps::traffic::service::{PtdrEngine, PtdrService, RouteQuery};
+use everest_apps::traffic::{generate_fcd, shortest_route, RoadNetwork, SpeedProfiles};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn setup() -> (RoadNetwork, SpeedProfiles) {
+    let net = RoadNetwork::grid(9, 8, 1.0);
+    let fcd = generate_fcd(&net, 4, 60_000);
+    let profiles = SpeedProfiles::learn(&net, &fcd);
+    (net, profiles)
+}
+
+#[test]
+fn warm_engine_queries_allocate_nothing() {
+    let (net, profiles) = setup();
+    let long = shortest_route(&net, &profiles, 0, net.nodes.len() - 1, 8).unwrap();
+    let short = shortest_route(&net, &profiles, 0, 9, 8).unwrap();
+    let mut engine: PtdrEngine = PtdrEngine::new();
+
+    // Warm-up: reach the high-water capacity on the longest route and
+    // the largest sample count, and touch both routes once so the
+    // table-switch path has capacity too.
+    engine.estimate(&net, &profiles, &long, 8.0, 4_000, 1);
+    engine.estimate(&net, &profiles, &short, 8.0, 4_000, 1);
+    engine.estimate(&net, &profiles, &long, 8.0, 4_000, 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..50u64 {
+        // Vary seed, departure, sample count (≤ high water), and route
+        // — everything a steady-state request stream varies.
+        engine.estimate(&net, &profiles, &long, (round % 24) as f64, 4_000, round);
+        engine.estimate(&net, &profiles, &short, 17.25, 1_000, round);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "warm engine queries must not allocate");
+}
+
+#[test]
+fn service_cache_hits_allocate_nothing() {
+    let (net, profiles) = setup();
+    let route = shortest_route(&net, &profiles, 0, net.nodes.len() - 1, 8).unwrap();
+    let service = PtdrService::new(net, profiles).with_seed(5);
+    let query = RouteQuery { route, depart_hour: 8.1, samples: 2_000 };
+
+    // In-bin departure wobble: four distinct departures, one cache key.
+    // Built before the measured window — the hit path itself must not
+    // touch the allocator.
+    let warm: Vec<RouteQuery> = (0..4)
+        .map(|i| RouteQuery { depart_hour: 8.0 + f64::from(i) * 0.05, ..query.clone() })
+        .collect();
+
+    // Warm-up: populate the cache entry and auto-register the telemetry
+    // counters (their first increment allocates the name).
+    service.query(&query);
+    service.query(&query);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000usize {
+        std::hint::black_box(service.query(&warm[i % warm.len()]));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "cache hits must not allocate");
+}

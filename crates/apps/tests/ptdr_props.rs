@@ -1,0 +1,77 @@
+//! Property tests for the PTDR streaming summary: Welford
+//! mean/variance plus `select_nth_unstable` percentile must match the
+//! sorted-Vec reference the scalar kernel uses, within 1e-9, on
+//! arbitrary, duplicate-heavy, and single-sample inputs.
+
+use everest_apps::traffic::service::summarize;
+use everest_apps::traffic::TravelTimeStats;
+use proptest::prelude::*;
+
+/// The reference summary: full sort, two-pass moments, indexed p95 —
+/// exactly what `ptdr_travel_time_reference` computes.
+fn summarize_sorted(times: &[f64]) -> TravelTimeStats {
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    let mean = sorted.iter().sum::<f64>() / n;
+    let var = sorted.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+    let p95 = sorted[((0.95 * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+    TravelTimeStats { mean_h: mean, p95_h: p95, std_h: var.sqrt() }
+}
+
+fn assert_close(streaming: &TravelTimeStats, reference: &TravelTimeStats) {
+    assert!(
+        (streaming.mean_h - reference.mean_h).abs() <= 1e-9,
+        "mean {} vs {}",
+        streaming.mean_h,
+        reference.mean_h
+    );
+    assert!(
+        (streaming.std_h - reference.std_h).abs() <= 1e-9,
+        "std {} vs {}",
+        streaming.std_h,
+        reference.std_h
+    );
+    // The selected percentile element is an input value, so the match is
+    // exact, not approximate.
+    assert_eq!(streaming.p95_h.to_bits(), reference.p95_h.to_bits(), "p95 diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn streaming_summary_matches_sorted_reference(
+        times in prop::collection::vec(0.001f64..10.0, 1..200),
+    ) {
+        let reference = summarize_sorted(&times);
+        let mut buf = times.clone();
+        let streaming = summarize(&mut buf);
+        assert_close(&streaming, &reference);
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_agree(
+        value in 0.5f64..1.5,
+        copies in 1usize..50,
+        extras in prop::collection::vec(0.5f64..1.5, 0..5),
+    ) {
+        // Mostly one repeated value, with a few distinct stragglers —
+        // the worst case for pivot-based selection.
+        let mut times = vec![value; copies];
+        times.extend_from_slice(&extras);
+        let reference = summarize_sorted(&times);
+        let streaming = summarize(&mut times);
+        assert_close(&streaming, &reference);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary(value in 0.001f64..100.0) {
+        let mut times = [value];
+        let stats = summarize(&mut times);
+        assert_eq!(stats.mean_h.to_bits(), value.to_bits());
+        assert_eq!(stats.p95_h.to_bits(), value.to_bits());
+        assert!(stats.std_h.abs() <= 1e-12);
+        assert_close(&stats, &summarize_sorted(&[value]));
+    }
+}

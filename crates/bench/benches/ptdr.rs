@@ -1,0 +1,233 @@
+//! E19: the PTDR routing service. Measures (a) single-query latency of
+//! the batched SoA Monte-Carlo engine against the scalar reference
+//! kernel at 10k samples, (b) batch throughput of `PtdrService` at
+//! `jobs = 1` (sequential reference, no cache) versus `jobs = 2`/`4`
+//! (pooled + LRU response cache) on a 256-query workload with 64 unique
+//! (route, departure-bin) keys, asserting every worker count returns
+//! bit-identical statistics, and (c) the warm-cache hit rate. Writes the
+//! trajectory to `BENCH_ptdr.json` at the repository root.
+//!
+//! Run with `cargo bench -p everest-bench --bench ptdr`.
+
+use everest::apps::traffic::service::{
+    ptdr_travel_time_reference, PtdrEngine, PtdrService, RouteQuery,
+};
+use everest::apps::traffic::{generate_fcd, random_od, shortest_route, RoadNetwork, SpeedProfiles};
+use serde_json::Value;
+use std::time::Instant;
+
+const SINGLE_SAMPLES: usize = 10_000;
+const BATCH_SAMPLES: usize = 2_000;
+const ROUTES: usize = 32;
+const REPEATS: usize = 4;
+const RUNS: usize = 5;
+
+struct BatchRun {
+    jobs: usize,
+    wall_ms: f64,
+    queries: usize,
+    queries_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+/// Bit-exact serialization of a result list, for cross-jobs comparison.
+fn fingerprint(stats: &[everest::apps::traffic::TravelTimeStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        out.push_str(&format!(
+            "{:016x}{:016x}{:016x}\n",
+            s.mean_h.to_bits(),
+            s.p95_h.to_bits(),
+            s.std_h.to_bits()
+        ));
+    }
+    out
+}
+
+fn build_queries(network: &RoadNetwork, profiles: &SpeedProfiles) -> Vec<RouteQuery> {
+    let od = random_od(network, 11, ROUTES * 2, 700.0);
+    let routes: Vec<Vec<usize>> = od
+        .iter()
+        .filter_map(|pair| shortest_route(network, profiles, pair.from, pair.to, 8))
+        .filter(|route| !route.is_empty())
+        .take(ROUTES)
+        .collect();
+    assert_eq!(routes.len(), ROUTES, "grid too sparse for {ROUTES} routes");
+    // 64 unique (route, bin) keys — 32 routes × {morning rush, evening
+    // rush} — each asked REPEATS times at distinct in-bin departures, the
+    // shape of a real request stream where many users share a commute.
+    let mut queries = Vec::new();
+    for rep in 0..REPEATS {
+        for &base in &[8.0f64, 17.0] {
+            for route in &routes {
+                queries.push(RouteQuery {
+                    route: route.clone(),
+                    depart_hour: base + rep as f64 * 0.05,
+                    samples: BATCH_SAMPLES,
+                });
+            }
+        }
+    }
+    queries
+}
+
+fn measure_batch(
+    network: &RoadNetwork,
+    profiles: &SpeedProfiles,
+    queries: &[RouteQuery],
+    jobs: usize,
+) -> (BatchRun, String, PtdrService) {
+    let service = PtdrService::new(network.clone(), profiles.clone()).with_jobs(jobs).with_seed(7);
+    let before = everest_telemetry::metrics().snapshot();
+    let start = Instant::now();
+    let stats = service.route_batch(queries);
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    let after = everest_telemetry::metrics().snapshot();
+    let hits = after.counter("ptdr.cache.hit") - before.counter("ptdr.cache.hit");
+    let misses = after.counter("ptdr.cache.miss") - before.counter("ptdr.cache.miss");
+    let lookups = hits + misses;
+    let run = BatchRun {
+        jobs,
+        wall_ms: wall,
+        queries: queries.len(),
+        queries_per_sec: queries.len() as f64 / (wall / 1e3),
+        cache_hits: hits,
+        cache_misses: misses,
+        hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+    };
+    (run, fingerprint(&stats), service)
+}
+
+fn main() {
+    let network = RoadNetwork::grid(2026, 12, 1.0);
+    let fcd = generate_fcd(&network, 7, 150_000);
+    let profiles = SpeedProfiles::learn(&network, &fcd);
+    let route = shortest_route(&network, &profiles, 0, network.nodes.len() - 1, 8).unwrap();
+
+    // (a) Single-query latency, best of RUNS (the engine keeps its SoA
+    // tables and scratch across repetitions — the warm serving path).
+    let mut engine: PtdrEngine = PtdrEngine::new();
+    let mut reference_ms = f64::INFINITY;
+    let mut engine_ms = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let r = ptdr_travel_time_reference(&network, &profiles, &route, 8.0, SINGLE_SAMPLES, 1);
+        reference_ms = reference_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let f = engine.estimate(&network, &profiles, &route, 8.0, SINGLE_SAMPLES, 1);
+        engine_ms = engine_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert!((f.mean_h - r.mean_h).abs() < r.mean_h * 0.05, "engine drifted off the reference");
+    }
+    let single_speedup = reference_ms / engine_ms;
+    println!(
+        "single query ({SINGLE_SAMPLES} samples, {} edges): reference {reference_ms:.3} ms, \
+         engine {engine_ms:.3} ms — {single_speedup:.2}x",
+        route.len()
+    );
+
+    // (b) Batch throughput at jobs = 1/2/4, cold cache each.
+    let queries = build_queries(&network, &profiles);
+    let mut runs: Vec<BatchRun> = Vec::new();
+    let mut reference_fp: Option<String> = None;
+    let mut warm_service = None;
+    for jobs in [1usize, 2, 4] {
+        let mut best: Option<(BatchRun, String, PtdrService)> = None;
+        for _ in 0..RUNS {
+            let m = measure_batch(&network, &profiles, &queries, jobs);
+            if best.as_ref().is_none_or(|b| m.0.wall_ms < b.0.wall_ms) {
+                best = Some(m);
+            }
+        }
+        let (run, fp, service) = best.expect("at least one run");
+        match &reference_fp {
+            None => reference_fp = Some(fp),
+            Some(reference) => {
+                assert_eq!(reference, &fp, "jobs={jobs} diverged from the sequential reference");
+            }
+        }
+        println!(
+            "jobs={:<2} wall={:>8.2} ms  {:>7.1} queries/s  cache {}h/{}m ({:.0}% hit)",
+            run.jobs,
+            run.wall_ms,
+            run.queries_per_sec,
+            run.cache_hits,
+            run.cache_misses,
+            run.hit_rate * 100.0
+        );
+        if jobs == 4 {
+            warm_service = Some(service);
+        }
+        runs.push(run);
+    }
+    let batch_speedup = runs[0].wall_ms / runs[runs.len() - 1].wall_ms;
+
+    // (c) Warm cache: the same request stream against the jobs=4 service
+    // that already answered it.
+    let service = warm_service.expect("jobs=4 ran");
+    let before = everest_telemetry::metrics().snapshot();
+    let start = Instant::now();
+    let warm_stats = service.route_batch(&queries);
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = everest_telemetry::metrics().snapshot();
+    assert_eq!(reference_fp.as_deref(), Some(fingerprint(&warm_stats).as_str()));
+    let warm_hits = after.counter("ptdr.cache.hit") - before.counter("ptdr.cache.hit");
+    let warm_misses = after.counter("ptdr.cache.miss") - before.counter("ptdr.cache.miss");
+    let warm_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    let warm_qps = queries.len() as f64 / (warm_ms / 1e3);
+    println!(
+        "warm cache: {warm_ms:.2} ms  {warm_qps:.0} queries/s  ({:.0}% hit)",
+        warm_hit_rate * 100.0
+    );
+    println!(
+        "single-query speedup {single_speedup:.2}x, batch jobs=4 vs jobs=1 {batch_speedup:.2}x"
+    );
+
+    let json = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("ptdr".to_owned())),
+        ("experiment".to_owned(), Value::Str("E19".to_owned())),
+        (
+            "single_query".to_owned(),
+            Value::Object(vec![
+                ("samples".to_owned(), Value::UInt(SINGLE_SAMPLES as u64)),
+                ("route_edges".to_owned(), Value::UInt(route.len() as u64)),
+                ("reference_ms".to_owned(), Value::Float(reference_ms)),
+                ("engine_ms".to_owned(), Value::Float(engine_ms)),
+                ("speedup".to_owned(), Value::Float(single_speedup)),
+            ]),
+        ),
+        (
+            "batch_runs".to_owned(),
+            Value::Array(
+                runs.iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("jobs".to_owned(), Value::UInt(r.jobs as u64)),
+                            ("wall_ms".to_owned(), Value::Float(r.wall_ms)),
+                            ("queries".to_owned(), Value::UInt(r.queries as u64)),
+                            ("queries_per_sec".to_owned(), Value::Float(r.queries_per_sec)),
+                            ("cache_hits".to_owned(), Value::UInt(r.cache_hits)),
+                            ("cache_misses".to_owned(), Value::UInt(r.cache_misses)),
+                            ("hit_rate".to_owned(), Value::Float(r.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("batch_speedup_jobs4_vs_jobs1".to_owned(), Value::Float(batch_speedup)),
+        (
+            "warm_cache".to_owned(),
+            Value::Object(vec![
+                ("wall_ms".to_owned(), Value::Float(warm_ms)),
+                ("queries_per_sec".to_owned(), Value::Float(warm_qps)),
+                ("hit_rate".to_owned(), Value::Float(warm_hit_rate)),
+            ]),
+        ),
+        ("outputs_identical".to_owned(), Value::Bool(true)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ptdr.json");
+    std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
+        .expect("writes BENCH_ptdr.json");
+    println!("wrote {path}");
+}

@@ -6,6 +6,8 @@
 //! everestc rtl <kernels.edsl> <kernel>   print the synthesized RTL
 //! everestc workflow <pipeline.ewf>       validate + print a workflow
 //! everestc profile <kernels.edsl>        per-phase timing summary table
+//! everestc route [--queries <n>] [--samples <n>]
+//!                                        serve a PTDR routing workload
 //! ```
 //!
 //! The global `--trace <out.json>` flag records every compiler phase and
@@ -25,16 +27,22 @@ const USAGE: &str = "usage:
   everestc [--trace <out.json>] [--jobs <n>] rtl <kernels.edsl> <kernel>
   everestc [--trace <out.json>] [--jobs <n>] workflow <pipeline.ewf>
   everestc [--trace <out.json>] [--jobs <n>] profile <kernels.edsl>
+  everestc [--trace <out.json>] [--jobs <n>] route [--queries <n>] [--samples <n>]
   everestc help | --help | -h
   everestc --version | -V
 
 options:
   --trace <out.json>   write a Chrome trace-event JSON file covering the
                        compiler phases run by the subcommand
-  --jobs <n>           design-space exploration workers (default: the
-                       host's available parallelism, at least 2); 1 runs
-                       the sequential reference evaluator, 2+ the pooled,
-                       memoized engine — results are identical either way";
+  --jobs <n>           worker count for design-space exploration and the
+                       PTDR routing service (default: the host's
+                       available parallelism, at least 2); 1 runs the
+                       sequential reference evaluator, 2+ the pooled,
+                       cached engine — results are identical either way
+  --queries <n>        routing requests in the synthetic workload
+                       (route: default 256)
+  --samples <n>        Monte-Carlo samples per routing request
+                       (route: default 1000)";
 
 fn usage() -> u8 {
     eprintln!("{USAGE}");
@@ -84,6 +92,31 @@ fn extract_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
             _ => Err(format!("--jobs requires a positive worker count, got '{value}'")),
         },
         None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)),
+    }
+}
+
+/// Extracts a `--flag <n>` / `--flag=<n>` positive count, valid in any
+/// position of the subcommand's argument list.
+fn extract_count_flag(args: &mut Vec<String>, flag: &str, default: usize) -> Result<usize, String> {
+    let raw = if let Some(at) = args.iter().position(|a| a == flag) {
+        if at + 1 >= args.len() {
+            return Err(format!("{flag} requires a count"));
+        }
+        let value = args.remove(at + 1);
+        args.remove(at);
+        Some(value)
+    } else {
+        let prefix = format!("{flag}=");
+        args.iter()
+            .position(|a| a.starts_with(&prefix))
+            .map(|at| args.remove(at)[prefix.len()..].to_owned())
+    };
+    match raw {
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("{flag} requires a positive count, got '{value}'")),
+        },
+        None => Ok(default),
     }
 }
 
@@ -238,6 +271,80 @@ fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error
             // drained, so the compile spans above are all captured.
             Ok(0)
         }
+        ("route", rest) => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let queries = extract_count_flag(&mut rest, "--queries", 256)?;
+            let samples = extract_count_flag(&mut rest, "--samples", 1_000)?;
+            if !rest.is_empty() {
+                return Ok(usage());
+            }
+            run_route(queries, samples, jobs)
+        }
         _ => Ok(usage()),
     }
+}
+
+/// `everestc route`: stands up the PTDR serving engine over a synthetic
+/// city (paper §VI-C, "route calculation as a service"), replays a
+/// request stream of repeated commutes cold and warm, and reports
+/// latency, throughput, and cache effectiveness.
+fn run_route(
+    queries: usize,
+    samples: usize,
+    jobs: usize,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    use everest::apps::traffic::service::{PtdrService, RouteQuery};
+    use everest::apps::traffic::{
+        generate_fcd, random_od, shortest_route, RoadNetwork, SpeedProfiles,
+    };
+
+    let network = RoadNetwork::grid(2026, 8, 1.0);
+    let fcd = generate_fcd(&network, 7, 40_000);
+    let profiles = SpeedProfiles::learn(&network, &fcd);
+    let od = random_od(&network, 11, 64, 700.0);
+    let routes: Vec<Vec<usize>> = od
+        .iter()
+        .filter_map(|pair| shortest_route(&network, &profiles, pair.from, pair.to, 8))
+        .filter(|route| !route.is_empty())
+        .take(16)
+        .collect();
+    if routes.is_empty() {
+        return Err("synthetic grid produced no routes".into());
+    }
+    // Repeated commutes: the request stream cycles a small set of
+    // (route, departure) pairs, the shape the response cache serves.
+    let departures = [7.5f64, 8.0, 12.25, 17.0];
+    let batch: Vec<RouteQuery> = (0..queries)
+        .map(|i| RouteQuery {
+            route: routes[i % routes.len()].clone(),
+            depart_hour: departures[(i / routes.len()) % departures.len()],
+            samples,
+        })
+        .collect();
+
+    let service = PtdrService::new(network, profiles).with_jobs(jobs).with_seed(7);
+    println!(
+        "ptdr service: 8x8 grid, {} routes, {queries} queries x {samples} samples, jobs={jobs}",
+        routes.len()
+    );
+    for phase in ["cold", "warm"] {
+        let before = everest_telemetry::metrics().snapshot();
+        let start = std::time::Instant::now();
+        let stats = service.route_batch(&batch);
+        let wall = start.elapsed().as_secs_f64();
+        let after = everest_telemetry::metrics().snapshot();
+        let hits = after.counter("ptdr.cache.hit") - before.counter("ptdr.cache.hit");
+        let misses = after.counter("ptdr.cache.miss") - before.counter("ptdr.cache.miss");
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        let slowest = stats.iter().map(|s| s.p95_h).fold(0.0f64, f64::max);
+        println!(
+            "{phase}: {:>8.2} ms  {:>9.1} queries/s  cache {hits}h/{misses}m ({:.0}% hit)  \
+             worst p95 {:.3} h",
+            wall * 1e3,
+            queries as f64 / wall.max(1e-12),
+            hit_rate * 100.0,
+            slowest
+        );
+    }
+    Ok(0)
 }

@@ -46,43 +46,61 @@ impl RunReport {
         self.assignment.iter().enumerate().filter(|(_, a)| **a == w).map(|(t, _)| t).collect()
     }
 
+    /// Partitions all tasks by worker in one pass over the assignment
+    /// vector: `partition[w]` lists the tasks worker `w` ran. Tasks
+    /// assigned beyond `workers` are skipped, mirroring [`Self::tasks_on`]
+    /// returning an empty list for an out-of-range worker.
+    pub fn worker_partition(&self, workers: usize) -> Vec<Vec<TaskId>> {
+        let mut partition = vec![Vec::new(); workers];
+        for (task, &w) in self.assignment.iter().enumerate() {
+            if let Some(lane) = partition.get_mut(w) {
+                lane.push(task);
+            }
+        }
+        partition
+    }
+
     /// Converts the timeline into Chrome trace events: exactly one `B`/`E`
     /// pair per task, on the tid of the worker that ran it, so a scheduled
     /// run renders as a per-worker Gantt chart in `chrome://tracing`.
+    ///
+    /// Emission walks a [`Self::worker_partition`] built in one pass —
+    /// not one assignment scan per worker — with each lane's tasks sorted
+    /// by start time. Because tasks on one worker never overlap, pushing
+    /// each task's `E` before the next task's `B` already yields the
+    /// per-lane timestamp order Chrome requires (end before begin on
+    /// ties), so no global sort is needed.
     pub fn trace_events(&self, graph: &TaskGraph) -> Vec<everest_telemetry::TraceEvent> {
+        let workers =
+            self.worker_busy_us.len().max(self.assignment.iter().map(|w| w + 1).max().unwrap_or(0));
+        let mut partition = self.worker_partition(workers);
         let mut events = Vec::with_capacity(self.assignment.len() * 2);
-        for (task, &worker) in self.assignment.iter().enumerate() {
-            let name = graph.tasks().get(task).map(|t| t.name.as_str()).unwrap_or("task");
+        for (worker, lane) in partition.iter_mut().enumerate() {
+            lane.sort_by(|a, b| self.start[*a].total_cmp(&self.start[*b]));
             let tid = worker as u32;
-            let begin = everest_telemetry::TraceEvent::begin(
-                name,
-                "workflow",
-                self.start[task] as u64,
-                everest_telemetry::export::WORKFLOW_PID,
-                tid,
-            )
-            .with_arg("task", task)
-            .with_arg("worker", worker)
-            .with_arg("policy", self.policy);
-            let end = everest_telemetry::TraceEvent::end(
-                name,
-                "workflow",
-                self.finish[task] as u64,
-                everest_telemetry::export::WORKFLOW_PID,
-                tid,
-            );
-            events.push(begin);
-            events.push(end);
+            for &task in lane.iter() {
+                let name = graph.tasks().get(task).map(|t| t.name.as_str()).unwrap_or("task");
+                events.push(
+                    everest_telemetry::TraceEvent::begin(
+                        name,
+                        "workflow",
+                        self.start[task] as u64,
+                        everest_telemetry::export::WORKFLOW_PID,
+                        tid,
+                    )
+                    .with_arg("task", task)
+                    .with_arg("worker", worker)
+                    .with_arg("policy", self.policy),
+                );
+                events.push(everest_telemetry::TraceEvent::end(
+                    name,
+                    "workflow",
+                    self.finish[task] as u64,
+                    everest_telemetry::export::WORKFLOW_PID,
+                    tid,
+                ));
+            }
         }
-        // Chrome requires B/E events in timestamp order per thread lane;
-        // on ties an end must precede the next begin.
-        events.sort_by(|a, b| {
-            (a.tid, a.ts_us, a.ph == everest_telemetry::export::Phase::Begin).cmp(&(
-                b.tid,
-                b.ts_us,
-                b.ph == everest_telemetry::export::Phase::Begin,
-            ))
-        });
         events
     }
 }
@@ -247,6 +265,24 @@ mod tests {
         assert!(seen.iter().all(|s| *s));
         // Out-of-range worker indices are empty, not a panic.
         assert!(run.tasks_on(workers.len()).is_empty());
+    }
+
+    #[test]
+    fn worker_partition_matches_tasks_on() {
+        let g = TaskGraph::random(17, 6, 9, 350.0);
+        let workers = Worker::uniform_pool(4, 1.0);
+        let run = simulate(&g, &workers, Policy::Heft).unwrap();
+        let partition = run.worker_partition(workers.len());
+        assert_eq!(partition.len(), workers.len());
+        for (w, lane) in partition.iter().enumerate() {
+            assert_eq!(lane, &run.tasks_on(w));
+        }
+        assert_eq!(partition.iter().map(Vec::len).sum::<usize>(), g.len());
+        // Asking for fewer lanes than workers drops the out-of-range tasks
+        // rather than panicking, like `tasks_on` with an out-of-range index.
+        let truncated = run.worker_partition(1);
+        assert_eq!(truncated.len(), 1);
+        assert_eq!(truncated[0], run.tasks_on(0));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! End-to-end check of `everestc route`: the PTDR serving subcommand
+//! must run a cold and a warm pass, report throughput and cache
+//! effectiveness, respect `--queries`/`--samples`, and reject bad
+//! counts.
+
+use std::process::Command;
+
+fn everestc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_everestc"))
+}
+
+#[test]
+fn route_serves_cold_and_warm_passes_with_cache_stats() {
+    let out = everestc()
+        .args(["route", "--queries", "48", "--samples", "200", "--jobs", "4"])
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ptdr service:"), "missing header: {stdout}");
+    assert!(stdout.contains("48 queries x 200 samples"), "flags ignored: {stdout}");
+    assert!(stdout.contains("jobs=4"), "jobs ignored: {stdout}");
+    assert!(stdout.contains("cold:"), "missing cold pass: {stdout}");
+    assert!(stdout.contains("warm:"), "missing warm pass: {stdout}");
+    assert!(stdout.contains("queries/s"), "missing throughput: {stdout}");
+    // The warm pass replays the identical stream against a populated
+    // cache: every lookup hits.
+    let warm = stdout.lines().find(|l| l.starts_with("warm:")).expect("warm line");
+    assert!(warm.contains("(100% hit)"), "warm pass must be all hits: {warm}");
+    assert!(warm.contains("/0m"), "warm pass must not miss: {warm}");
+}
+
+#[test]
+fn route_jobs_one_is_the_uncached_reference() {
+    let out = everestc()
+        .args(["route", "--queries", "8", "--samples", "100", "--jobs", "1"])
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The sequential reference never consults the cache, cold or warm.
+    for line in stdout.lines().filter(|l| l.starts_with("cold:") || l.starts_with("warm:")) {
+        assert!(line.contains("cache 0h/0m"), "jobs=1 must bypass the cache: {line}");
+    }
+}
+
+#[test]
+fn route_rejects_bad_counts() {
+    for bad in [&["route", "--queries", "0"][..], &["route", "--samples", "nope"]] {
+        let out = everestc().args(bad).output().expect("everestc runs");
+        assert!(!out.status.success(), "{bad:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("positive count"), "unexpected error: {stderr}");
+    }
+    // Stray positional arguments fall through to usage.
+    let out = everestc().args(["route", "extra"]).output().expect("everestc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
