@@ -7,7 +7,7 @@ use everest::runtime::autotuner::SystemState;
 use everest::Sdk;
 
 fn bench_adaptation(c: &mut Criterion) {
-    let sdk = Sdk::small();
+    let sdk = Sdk::builder().space(everest::DesignSpace::small()).build();
     let compiled = sdk
         .compile("kernel k(x: tensor<1024xf64>) -> tensor<1024xf64> { return sigmoid(x); }")
         .unwrap();

@@ -55,7 +55,7 @@ fn fingerprint(compiled: &everest::Compiled) -> String {
 /// Times one full compile at the given worker count with a cold synthesis
 /// cache, returning the wall clock, cache counters and output fingerprint.
 fn measure(jobs: usize) -> (Run, String) {
-    let sdk = Sdk::new().with_jobs(jobs);
+    let sdk = Sdk::builder().jobs(jobs).build();
     let points = sdk.space.size();
 
     // Warm-up run (cold allocator, lazy statics), then keep the fastest

@@ -32,7 +32,7 @@ fn bench_frontend(c: &mut Criterion) {
 
 fn bench_full_flow(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_full_flow");
-    let sdk = Sdk::small();
+    let sdk = Sdk::builder().space(everest::DesignSpace::small()).build();
     for (name, src) in KERNELS {
         group.bench_with_input(BenchmarkId::new("compile_variants", name), &src, |b, src| {
             b.iter(|| sdk.compile(std::hint::black_box(src)).unwrap())

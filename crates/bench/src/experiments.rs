@@ -38,7 +38,7 @@ fn section(id: &str, title: &str, body: &str) -> String {
 /// E1: runs the full DSL → IR → variants flow on three kernels and reports
 /// per-stage artifacts.
 pub fn e1_compilation_flow() -> String {
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let mut t = Table::new(&[
         "kernel",
         "IR ops",
@@ -98,7 +98,7 @@ pub fn e1_compilation_flow() -> String {
 fn scenario_points() -> Vec<Variant> {
     // The activation kernel: its accelerator wins calm-phase latency, so
     // the adaptation story exercises real switching.
-    let sdk = Sdk::small();
+    let sdk = Sdk::builder().space(everest::DesignSpace::small()).build();
     let compiled = sdk.compile(SIGMOID).unwrap();
     compiled.kernels[0].variants.clone()
 }
@@ -246,7 +246,7 @@ pub fn e4_attachment_comparison() -> String {
 
 /// E5: per-kernel best-hardware vs software latency and energy.
 pub fn e5_acceleration() -> String {
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let mut t = Table::new(&[
         "kernel",
         "sw 1t us",

@@ -8,6 +8,8 @@
 //! everestc profile <kernels.edsl>        per-phase timing summary table
 //! everestc route [--queries <n>] [--samples <n>]
 //!                                        serve a PTDR routing workload
+//! everestc offload [--seed <n>] [--fault-profile <name>] [--calls <n>]
+//!                                        run a fault-injected offload batch
 //! ```
 //!
 //! The global `--trace <out.json>` flag records every compiler phase and
@@ -28,6 +30,8 @@ const USAGE: &str = "usage:
   everestc [--trace <out.json>] [--jobs <n>] workflow <pipeline.ewf>
   everestc [--trace <out.json>] [--jobs <n>] profile <kernels.edsl>
   everestc [--trace <out.json>] [--jobs <n>] route [--queries <n>] [--samples <n>]
+  everestc [--trace <out.json>] [--jobs <n>] offload [--seed <n>]
+           [--fault-profile <name>] [--calls <n>]
   everestc help | --help | -h
   everestc --version | -V
 
@@ -42,7 +46,14 @@ options:
   --queries <n>        routing requests in the synthetic workload
                        (route: default 256)
   --samples <n>        Monte-Carlo samples per routing request
-                       (route: default 1000)";
+                       (route: default 1000)
+  --seed <n>           fault-plan seed; the same seed yields a
+                       bit-identical retry/fallback trace at any --jobs
+                       count (offload: default 7)
+  --fault-profile <p>  fault scenario: none, lossy, flaky or meltdown
+                       (offload: default lossy)
+  --calls <n>          kernel invocations in the offload batch
+                       (offload: default 32)";
 
 fn usage() -> u8 {
     eprintln!("{USAGE}");
@@ -93,6 +104,28 @@ fn extract_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
         },
         None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)),
     }
+}
+
+/// Extracts a `--flag <value>` / `--flag=<value>` string option, valid in
+/// any position of the subcommand's argument list.
+fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(at) = args.iter().position(|a| a == flag) {
+        if at + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(at + 1);
+        args.remove(at);
+        return Ok(Some(value));
+    }
+    let prefix = format!("{flag}=");
+    if let Some(at) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let value = args.remove(at)[prefix.len()..].to_owned();
+        if value.is_empty() {
+            return Err(format!("{flag} requires a value"));
+        }
+        return Ok(Some(value));
+    }
+    Ok(None)
 }
 
 /// Extracts a `--flag <n>` / `--flag=<n>` positive count, valid in any
@@ -203,7 +236,7 @@ fn read(path: &str) -> Result<String, Box<dyn std::error::Error>> {
 }
 
 fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error::Error>> {
-    let sdk = Sdk::new().with_jobs(jobs);
+    let sdk = Sdk::builder().jobs(jobs).build();
     match (cmd, rest) {
         ("ir", [path]) => {
             let source = read(path)?;
@@ -280,8 +313,113 @@ fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error
             }
             run_route(queries, samples, jobs)
         }
+        ("offload", rest) => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let seed = match extract_value_flag(&mut rest, "--seed")? {
+                Some(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed requires an unsigned integer, got '{raw}'"))?,
+                None => 7,
+            };
+            let profile =
+                extract_value_flag(&mut rest, "--fault-profile")?.unwrap_or_else(|| "lossy".into());
+            let calls = extract_count_flag(&mut rest, "--calls", 32)?;
+            if !rest.is_empty() {
+                return Ok(usage());
+            }
+            run_offload(&profile, seed, calls, jobs)
+        }
         _ => Ok(usage()),
     }
+}
+
+/// `everestc offload`: runs a batch of synthetic kernel invocations
+/// through the fault-injected offload recovery layer (retry + circuit
+/// breakers + fallback chain), then reschedules the same workload off the
+/// tripped devices. Everything printed is a pure function of the seed, so
+/// two runs with the same `--seed` diff clean at any `--jobs` count.
+fn run_offload(
+    profile: &str,
+    seed: u64,
+    calls: usize,
+    jobs: usize,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    use everest::workflow::exec::simulate_available;
+    use everest::workflow::scheduler::Policy;
+    use everest::workflow::{TaskGraph, Worker};
+    use everest::{FaultPlan, OffloadCall, Sdk};
+
+    everest_telemetry::metrics().reset();
+    let plan = FaultPlan::from_profile(profile, seed)?;
+    let sdk = Sdk::builder().jobs(jobs).fault_plan(plan).build();
+    let mut mgr = sdk.offload_manager()?;
+
+    // One invocation per task of a layered synthetic workflow.
+    let graph = TaskGraph::random(seed, 4, calls.div_ceil(4).max(1), 400.0);
+    let batch: Vec<OffloadCall> = graph
+        .tasks()
+        .iter()
+        .take(calls)
+        .map(|t| OffloadCall {
+            kernel: t.name.clone(),
+            payload_bytes: t.output_bytes,
+            work_us: t.cost_us,
+        })
+        .collect();
+    println!(
+        "offload: profile={profile} seed={seed} calls={} targets={} jobs={jobs}",
+        batch.len(),
+        mgr.chain().len()
+    );
+    let outcomes = mgr.run_batch(&batch, jobs)?;
+    print!("{}", mgr.trace());
+
+    let degraded = outcomes.iter().filter(|o| o.degraded).count();
+    let attempts: u32 = outcomes.iter().map(|o| o.attempts).sum();
+    println!(
+        "completed {}/{} calls ({degraded} degraded, {attempts} attempts)",
+        outcomes.len(),
+        batch.len()
+    );
+    let tripped = mgr.tripped_devices();
+    if tripped.is_empty() {
+        println!("tripped devices: none");
+    } else {
+        println!("tripped devices: {}", tripped.join(", "));
+    }
+
+    // Reschedule the workload off the tripped targets: one worker per
+    // fallback-chain rung, excluded when its device is out of rotation.
+    let workers: Vec<Worker> = mgr
+        .chain()
+        .iter()
+        .map(|t| {
+            Worker::new(
+                t.device.clone(),
+                t.speedup,
+                1.0 / (t.link.bandwidth_gbps.max(1e-9) * 1e3),
+                t.link.latency_us,
+            )
+        })
+        .collect();
+    let available: Vec<bool> = mgr.chain().iter().map(|t| !tripped.contains(&t.device)).collect();
+    let run = simulate_available(&graph, &workers, Policy::Heft, &available)?;
+    println!(
+        "reschedule: makespan {:.1} us on {}/{} workers, mode={}",
+        run.makespan_us,
+        workers.len() - run.excluded_workers.len(),
+        workers.len(),
+        if run.degraded { "degraded" } else { "healthy" }
+    );
+
+    let snapshot = everest_telemetry::metrics().snapshot();
+    println!("counters:");
+    for name in
+        ["offload.completed", "offload.retries", "offload.breaker.open", "offload.fallbacks"]
+    {
+        println!("  {:<24} {}", name, snapshot.counter(name));
+    }
+    Ok(0)
 }
 
 /// `everestc route`: stands up the PTDR serving engine over a synthetic

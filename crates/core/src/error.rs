@@ -38,7 +38,21 @@ impl fmt::Display for SdkError {
     }
 }
 
-impl std::error::Error for SdkError {}
+impl std::error::Error for SdkError {
+    /// The wrapped subsystem error, so `anyhow`-style chain walking (and
+    /// plain `source()` loops) reach the original failure.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdkError::Dsl(e) => Some(e),
+            SdkError::Ir(e) => Some(e),
+            SdkError::Hls(e) => Some(e),
+            SdkError::DesignSpace(_) => None,
+            SdkError::Platform(e) => Some(e),
+            SdkError::Runtime(e) => Some(e),
+            SdkError::Workflow(e) => Some(e),
+        }
+    }
+}
 
 impl From<everest_dsl::DslError> for SdkError {
     fn from(e: everest_dsl::DslError) -> SdkError {
@@ -95,6 +109,20 @@ mod tests {
         assert_eq!(e.to_string(), "dsl: parse error at line 3: bad token");
         let e: SdkError = everest_runtime::RuntimeError::NoFeasiblePoint.into();
         assert!(e.to_string().starts_with("runtime:"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_subsystem_error() {
+        use std::error::Error;
+        let inner = everest_platform::PlatformError::NoRoute { from: "a".into(), to: "b".into() };
+        let e: SdkError = inner.clone().into();
+        let source = e.source().expect("platform errors chain");
+        assert_eq!(source.to_string(), inner.to_string());
+        // Leaf variants end the chain instead of fabricating a source.
+        assert!(SdkError::DesignSpace("empty".into()).source().is_none());
+        // The chain survives boxing, the shape `main()` error reporting sees.
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.source().is_some());
     }
 
     #[test]

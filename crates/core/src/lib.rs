@@ -18,12 +18,13 @@
 //! | crypto + monitors + auto-protection | [`security`] |
 //! | the three industrial use cases (VI) | [`apps`] |
 //!
-//! The [`Sdk`] type drives the end-to-end flow:
+//! The [`Sdk`] type drives the end-to-end flow; configure it with
+//! [`Sdk::builder`]:
 //!
 //! ```
 //! use everest::Sdk;
 //!
-//! let sdk = Sdk::new();
+//! let sdk = Sdk::builder().build();
 //! let compiled = sdk.compile(
 //!     "kernel axpy(a: tensor<64xf64>, b: tensor<64xf64>) -> tensor<64xf64> {
 //!          return 2.0 * a + b;
@@ -41,7 +42,18 @@ pub mod sdk;
 
 pub use bridge::task_graph_from_workflow;
 pub use error::{SdkError, SdkResult};
-pub use sdk::{Compiled, CompiledKernel, Deployment, Sdk};
+pub use sdk::{Compiled, CompiledKernel, Deployment, Sdk, SdkBuilder};
+
+// Re-export the types users touch on every path through the façade, so
+// `use everest::{Sdk, System, Link}` works without naming the subsystem
+// crates.
+pub use everest_platform::{Link, LinkProfile, System};
+pub use everest_runtime::offload::{
+    FaultKind, FaultPlan, FaultRates, OffloadCall, OffloadManager, OffloadOutcome, TargetClass,
+};
+pub use everest_variants::space::DesignSpace;
+pub use everest_variants::Variant;
+pub use everest_workflow::RunReport;
 
 // Re-export the subsystem crates under stable names.
 pub use everest_apps as apps;

@@ -1,5 +1,7 @@
 //! The [`Sdk`] façade: compile kernels, explore variants, deploy roles to
-//! the target system, and wire the runtime.
+//! the target system, and wire the runtime. Configure it through
+//! [`Sdk::builder`]; the historical `Sdk::new()` / `Sdk::small()` /
+//! `Sdk::with_jobs()` constructors survive as deprecated wrappers.
 
 use crate::error::SdkResult;
 use everest_dsl::compile_kernels;
@@ -7,6 +9,7 @@ use everest_hls::accel::{synthesize, HlsConfig};
 use everest_ir::pass::PassManager;
 use everest_ir::Module;
 use everest_platform::System;
+use everest_runtime::offload::{FaultPlan, OffloadManager};
 use everest_runtime::{Autotuner, Hypervisor};
 use everest_variants::space::DesignSpace;
 use everest_variants::{pareto, Variant};
@@ -62,6 +65,98 @@ pub struct Deployment {
     pub placements: Vec<(String, String)>,
 }
 
+/// Builder for [`Sdk`]: the single place all façade configuration meets.
+///
+/// ```
+/// use everest::{DesignSpace, Sdk};
+///
+/// let sdk = Sdk::builder().space(DesignSpace::small()).jobs(4).build();
+/// assert_eq!(sdk.jobs, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdkBuilder {
+    space: DesignSpace,
+    hls: HlsConfig,
+    system: System,
+    jobs: usize,
+    trace: bool,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Default for SdkBuilder {
+    fn default() -> SdkBuilder {
+        SdkBuilder {
+            space: DesignSpace::default(),
+            hls: HlsConfig::default(),
+            system: System::everest_reference(),
+            jobs: 2,
+            trace: false,
+            fault_plan: None,
+        }
+    }
+}
+
+impl SdkBuilder {
+    /// Sets the design space swept per kernel.
+    #[must_use]
+    pub fn space(mut self, space: DesignSpace) -> SdkBuilder {
+        self.space = space;
+        self
+    }
+
+    /// Sets the HLS configuration for hardware variants.
+    #[must_use]
+    pub fn hls(mut self, hls: HlsConfig) -> SdkBuilder {
+        self.hls = hls;
+        self
+    }
+
+    /// Sets the target system model (default: the reference EVEREST
+    /// demonstrator of Fig. 4).
+    #[must_use]
+    pub fn system(mut self, system: System) -> SdkBuilder {
+        self.system = system;
+        self
+    }
+
+    /// Sets the DSE worker count (clamped to at least 1).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> SdkBuilder {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// When `true`, [`SdkBuilder::build`] installs the recording tracer so
+    /// every span the pipeline emits is captured for Chrome-trace export.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> SdkBuilder {
+        self.trace = trace;
+        self
+    }
+
+    /// Arms a fault-injection plan; [`Sdk::offload_manager`] wires it into
+    /// the offload recovery layer.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> SdkBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> Sdk {
+        if self.trace {
+            everest_telemetry::install_global(everest_telemetry::Tracer::recording());
+        }
+        Sdk {
+            space: self.space,
+            hls: self.hls,
+            system: self.system,
+            jobs: self.jobs,
+            fault_plan: self.fault_plan,
+        }
+    }
+}
+
 /// The EVEREST SDK: configuration plus the compile/deploy entry points.
 #[derive(Debug, Clone)]
 pub struct Sdk {
@@ -75,36 +170,56 @@ pub struct Sdk {
     /// `>= 2` the pooled, memoized engine. Outputs are bit-identical
     /// either way.
     pub jobs: usize,
+    /// The armed fault-injection plan, if any (see
+    /// [`SdkBuilder::fault_plan`]).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Sdk {
     fn default() -> Sdk {
-        Sdk::new()
+        Sdk::builder().build()
     }
 }
 
 impl Sdk {
+    /// Starts configuring an SDK.
+    pub fn builder() -> SdkBuilder {
+        SdkBuilder::default()
+    }
+
     /// An SDK over the reference EVEREST system with the default design
     /// space.
+    #[deprecated(since = "0.2.0", note = "use `Sdk::builder().build()`")]
     pub fn new() -> Sdk {
-        Sdk {
-            space: DesignSpace::default(),
-            hls: HlsConfig::default(),
-            system: System::everest_reference(),
-            jobs: 2,
-        }
+        Sdk::builder().build()
     }
 
     /// An SDK with a minimal design space (fast unit tests / examples).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Sdk::builder().space(DesignSpace::small()).build()`"
+    )]
     pub fn small() -> Sdk {
-        Sdk { space: DesignSpace::small(), ..Sdk::new() }
+        Sdk::builder().space(DesignSpace::small()).build()
     }
 
     /// Sets the DSE worker count (clamped to at least 1).
+    #[deprecated(since = "0.2.0", note = "use `Sdk::builder().jobs(n).build()`")]
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Sdk {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// An offload recovery layer over this SDK's system, armed with the
+    /// configured fault plan (or a fault-free plan when none was set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] when the system model has no nodes.
+    pub fn offload_manager(&self) -> SdkResult<OffloadManager> {
+        let plan = self.fault_plan.clone().unwrap_or_else(|| FaultPlan::none(0));
+        Ok(OffloadManager::for_system(&self.system, plan)?)
     }
 
     /// Compiles tensor-DSL source: parse + type-check, lower to the unified
@@ -230,6 +345,10 @@ impl Sdk {
 mod tests {
     use super::*;
 
+    fn small_sdk() -> Sdk {
+        Sdk::builder().space(DesignSpace::small()).build()
+    }
+
     const SRC: &str = "
         kernel gemm(a: tensor<16x16xf64>, b: tensor<16x16xf64>) -> tensor<16x16xf64> {
             return a @ b;
@@ -241,7 +360,7 @@ mod tests {
 
     #[test]
     fn compile_generates_variants_per_kernel() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         assert_eq!(compiled.kernels.len(), 2);
         let gemm = compiled.kernel("gemm").unwrap();
@@ -252,13 +371,13 @@ mod tests {
 
     #[test]
     fn compile_rejects_bad_source() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         assert!(matches!(sdk.compile("kernel broken(").unwrap_err(), crate::SdkError::Dsl(_)));
     }
 
     #[test]
     fn synthesize_kernel_produces_rtl() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let acc = sdk.synthesize_kernel(SRC, "smooth").unwrap();
         assert!(acc.rtl.contains("module smooth_loops"));
         assert!(acc.latency_cycles > 0);
@@ -266,7 +385,7 @@ mod tests {
 
     #[test]
     fn synthesize_unknown_kernel_fails() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         assert!(matches!(
             sdk.synthesize_kernel(SRC, "ghost").unwrap_err(),
             crate::SdkError::Ir(everest_ir::IrError::UnknownSymbol(_))
@@ -275,7 +394,7 @@ mod tests {
 
     #[test]
     fn deploy_places_hardware_variants() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         let deployment = sdk.deploy(&compiled, "cloud-p9").unwrap();
         assert_eq!(deployment.placements.len(), 2);
@@ -284,14 +403,14 @@ mod tests {
 
     #[test]
     fn deploy_to_unknown_node_fails() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         assert!(matches!(sdk.deploy(&compiled, "mars").unwrap_err(), crate::SdkError::Platform(_)));
     }
 
     #[test]
     fn compile_workflow_binds_kernel_costs() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         let (spec, graph) = sdk
             .compile_workflow(
@@ -311,14 +430,57 @@ mod tests {
 
     #[test]
     fn compile_workflow_rejects_bad_source() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         assert!(sdk.compile_workflow("workflow broken {", &compiled).is_err());
     }
 
     #[test]
+    fn builder_configures_every_knob() {
+        use everest_runtime::offload::FaultRates;
+        let plan = FaultPlan::new(9, FaultRates { drop: 0.1, ..FaultRates::NONE }).unwrap();
+        let sdk = Sdk::builder()
+            .space(DesignSpace::small())
+            .system(System::everest_reference())
+            .jobs(0) // clamped
+            .fault_plan(plan.clone())
+            .build();
+        assert_eq!(sdk.jobs, 1);
+        assert_eq!(sdk.space.size(), DesignSpace::small().size());
+        assert_eq!(sdk.fault_plan, Some(plan));
+        // The armed plan reaches the offload layer.
+        let mgr = sdk.offload_manager().unwrap();
+        assert!(!mgr.chain().is_empty());
+    }
+
+    #[test]
+    fn offload_manager_defaults_to_a_fault_free_plan() {
+        let mut mgr = small_sdk().offload_manager().unwrap();
+        let call = everest_runtime::offload::OffloadCall {
+            kernel: "gemm".into(),
+            payload_bytes: 4096,
+            work_us: 50.0,
+        };
+        let outcome = mgr.execute(&call).unwrap();
+        assert!(!outcome.degraded);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_behave() {
+        // The pre-builder API keeps compiling and produces the same
+        // configuration as its builder replacement.
+        let old = Sdk::small().with_jobs(3);
+        let new = Sdk::builder().space(DesignSpace::small()).jobs(3).build();
+        assert_eq!(old.jobs, new.jobs);
+        assert_eq!(old.space.size(), new.space.size());
+        assert_eq!(Sdk::new().jobs, Sdk::default().jobs);
+        assert!(Sdk::new().fault_plan.is_none());
+    }
+
+    #[test]
     fn autotuner_integrates_with_compiled_kernels() {
-        let sdk = Sdk::small();
+        let sdk = small_sdk();
         let compiled = sdk.compile(SRC).unwrap();
         let tuner = compiled.kernel("gemm").unwrap().autotuner();
         let choice = tuner.select(&Default::default()).unwrap();

@@ -42,7 +42,7 @@ pub mod system;
 
 pub use error::{PlatformError, PlatformResult};
 pub use fpga::{Attachment, FabricCapacity, FpgaDevice};
-pub use link::Link;
+pub use link::{Link, LinkProfile};
 pub use node::{CpuSpec, Node, NodeKind};
 pub use sim::Sim;
 pub use system::System;

@@ -3,7 +3,79 @@
 //!
 //! The EVEREST demonstrator (Fig. 4) couples nodes through "OpenCAPI cache
 //! coherent and TCP/UDP protocols"; the presets here reflect those two
-//! classes plus PCIe, datacenter Ethernet and an edge WAN.
+//! classes plus PCIe, datacenter Ethernet and an edge WAN. Presets are
+//! named by [`LinkProfile`], so front-ends (and the fault-injection layer)
+//! can refer to an interconnect class by a parseable name; the historical
+//! per-class constructors delegate to [`Link::profile`].
+
+use crate::error::PlatformError;
+
+/// The named interconnect classes of the reference platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkProfile {
+    /// OpenCAPI cache-coherent bus attachment.
+    OpenCapi,
+    /// PCIe Gen4 x8 DMA attachment.
+    Pcie,
+    /// Datacenter TCP through the kernel stack.
+    TcpDatacenter,
+    /// Datacenter UDP with a lightweight offloaded stack (cloudFPGA).
+    UdpDatacenter,
+    /// Edge wide-area uplink.
+    EdgeWan,
+    /// 1 GbE local-area link between inner-edge nodes.
+    Lan,
+}
+
+impl LinkProfile {
+    /// Every profile, ordered from tightest to loosest coupling.
+    pub const ALL: [LinkProfile; 6] = [
+        LinkProfile::OpenCapi,
+        LinkProfile::Pcie,
+        LinkProfile::UdpDatacenter,
+        LinkProfile::TcpDatacenter,
+        LinkProfile::Lan,
+        LinkProfile::EdgeWan,
+    ];
+
+    /// The profile whose preset parameters equal `link`, if any. Lets
+    /// layers that only hold a [`Link`] (device attachments, fault plans)
+    /// recover the interconnect class it came from.
+    pub fn of(link: &Link) -> Option<LinkProfile> {
+        LinkProfile::ALL.into_iter().find(|p| Link::profile(*p) == *link)
+    }
+
+    /// The canonical (parseable) name of this profile.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkProfile::OpenCapi => "opencapi",
+            LinkProfile::Pcie => "pcie",
+            LinkProfile::TcpDatacenter => "tcp-datacenter",
+            LinkProfile::UdpDatacenter => "udp-datacenter",
+            LinkProfile::EdgeWan => "edge-wan",
+            LinkProfile::Lan => "lan",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for LinkProfile {
+    type Err = PlatformError;
+
+    /// Parses a profile name; `_` is accepted for `-`.
+    fn from_str(s: &str) -> Result<LinkProfile, PlatformError> {
+        let canon = s.trim().to_ascii_lowercase().replace('_', "-");
+        LinkProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == canon)
+            .ok_or_else(|| PlatformError::Unknown(format!("link profile '{s}'")))
+    }
+}
 
 /// A point-to-point interconnect with fixed latency and bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,36 +100,50 @@ impl Link {
         Link { latency_us, bandwidth_gbps, overhead_bytes }
     }
 
-    /// OpenCAPI cache-coherent attachment: sub-microsecond latency,
-    /// ~22 GB/s usable.
+    /// The preset link for a named interconnect profile.
+    pub fn profile(profile: LinkProfile) -> Link {
+        match profile {
+            // Sub-microsecond latency, ~22 GB/s usable.
+            LinkProfile::OpenCapi => Link::new(0.4, 22.0, 64),
+            LinkProfile::Pcie => Link::new(1.2, 12.0, 128),
+            // Tens of microseconds, 10 GbE-class.
+            LinkProfile::TcpDatacenter => Link::new(25.0, 1.1, 512),
+            // Low latency, near line-rate 10 GbE.
+            LinkProfile::UdpDatacenter => Link::new(4.0, 1.2, 128),
+            LinkProfile::EdgeWan => Link::new(5_000.0, 0.012, 256),
+            LinkProfile::Lan => Link::new(80.0, 0.11, 512),
+        }
+    }
+
+    /// OpenCAPI cache-coherent attachment ([`LinkProfile::OpenCapi`]).
     pub fn opencapi() -> Link {
-        Link::new(0.4, 22.0, 64)
+        Link::profile(LinkProfile::OpenCapi)
     }
 
-    /// PCIe Gen4 x8 DMA attachment.
+    /// PCIe Gen4 x8 DMA attachment ([`LinkProfile::Pcie`]).
     pub fn pcie() -> Link {
-        Link::new(1.2, 12.0, 128)
+        Link::profile(LinkProfile::Pcie)
     }
 
-    /// Datacenter TCP (kernel stack): tens of microseconds, 10 GbE-class.
+    /// Datacenter TCP (kernel stack) ([`LinkProfile::TcpDatacenter`]).
     pub fn tcp_datacenter() -> Link {
-        Link::new(25.0, 1.1, 512)
+        Link::profile(LinkProfile::TcpDatacenter)
     }
 
-    /// Datacenter UDP with a lightweight offloaded stack (cloudFPGA role):
-    /// low latency, near line-rate 10 GbE.
+    /// Datacenter UDP with a lightweight offloaded stack (cloudFPGA role)
+    /// ([`LinkProfile::UdpDatacenter`]).
     pub fn udp_datacenter() -> Link {
-        Link::new(4.0, 1.2, 128)
+        Link::profile(LinkProfile::UdpDatacenter)
     }
 
-    /// Edge wide-area uplink (endpoint to inner edge).
+    /// Edge wide-area uplink ([`LinkProfile::EdgeWan`]).
     pub fn edge_wan() -> Link {
-        Link::new(5_000.0, 0.012, 256)
+        Link::profile(LinkProfile::EdgeWan)
     }
 
-    /// Local-area link between inner-edge nodes (1 GbE).
+    /// Local-area link between inner-edge nodes ([`LinkProfile::Lan`]).
     pub fn lan() -> Link {
-        Link::new(80.0, 0.11, 512)
+        Link::profile(LinkProfile::Lan)
     }
 
     /// Time in microseconds to move `bytes` across this link.
@@ -119,5 +205,34 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         Link::new(1.0, 0.0, 0);
+    }
+
+    #[test]
+    fn constructors_delegate_to_profiles() {
+        assert_eq!(Link::opencapi(), Link::profile(LinkProfile::OpenCapi));
+        assert_eq!(Link::pcie(), Link::profile(LinkProfile::Pcie));
+        assert_eq!(Link::tcp_datacenter(), Link::profile(LinkProfile::TcpDatacenter));
+        assert_eq!(Link::udp_datacenter(), Link::profile(LinkProfile::UdpDatacenter));
+        assert_eq!(Link::edge_wan(), Link::profile(LinkProfile::EdgeWan));
+        assert_eq!(Link::lan(), Link::profile(LinkProfile::Lan));
+    }
+
+    #[test]
+    fn profile_recovered_from_preset_links() {
+        for profile in LinkProfile::ALL {
+            assert_eq!(LinkProfile::of(&Link::profile(profile)), Some(profile));
+        }
+        assert_eq!(LinkProfile::of(&Link::new(3.0, 3.0, 3)), None);
+    }
+
+    #[test]
+    fn profiles_parse_by_name() {
+        for profile in LinkProfile::ALL {
+            assert_eq!(profile.name().parse::<LinkProfile>().unwrap(), profile);
+        }
+        // Case and separator are normalized.
+        assert_eq!("UDP_Datacenter".parse::<LinkProfile>().unwrap(), LinkProfile::UdpDatacenter);
+        let err = "quantum-tunnel".parse::<LinkProfile>().unwrap_err();
+        assert!(err.to_string().contains("link profile 'quantum-tunnel'"));
     }
 }

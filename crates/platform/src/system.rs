@@ -57,13 +57,19 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns [`PlatformError::NoRoute`] when the nodes are not directly
-    /// connected.
+    /// Returns [`PlatformError::Unknown`] naming the endpoint when either
+    /// node does not exist, and [`PlatformError::NoRoute`] when both exist
+    /// but are not directly connected.
     pub fn link(&self, from: &str, to: &str) -> PlatformResult<Link> {
-        self.links
-            .get(&(from.to_owned(), to.to_owned()))
-            .copied()
-            .ok_or_else(|| PlatformError::NoRoute { from: from.to_owned(), to: to.to_owned() })
+        if let Some(link) = self.links.get(&(from.to_owned(), to.to_owned())) {
+            return Ok(*link);
+        }
+        for endpoint in [from, to] {
+            if self.node_by_name(endpoint).is_none() {
+                return Err(PlatformError::Unknown(format!("node '{endpoint}'")));
+            }
+        }
+        Err(PlatformError::NoRoute { from: from.to_owned(), to: to.to_owned() })
     }
 
     /// Every FPGA device in the system as `(node, device)` name pairs.
@@ -142,6 +148,15 @@ mod tests {
         let sys = System::everest_reference();
         let err = sys.link("endpoint-0", "cloud-p9").unwrap_err();
         assert!(matches!(err, PlatformError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn unknown_endpoint_names_the_node() {
+        let sys = System::everest_reference();
+        let err = sys.link("cloud-p9", "mars").unwrap_err();
+        assert_eq!(err, PlatformError::Unknown("node 'mars'".into()));
+        let err = sys.link("venus", "cloud-p9").unwrap_err();
+        assert!(err.to_string().contains("venus"));
     }
 
     #[test]

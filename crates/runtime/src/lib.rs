@@ -36,9 +36,14 @@ pub mod autotuner;
 pub mod contention;
 pub mod error;
 pub mod monitor;
+pub mod offload;
 pub mod vm;
 
 pub use autotuner::{Autotuner, Constraint, Objective, SystemState};
 pub use error::{RuntimeError, RuntimeResult};
 pub use monitor::RuntimeMonitor;
+pub use offload::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultKind, FaultPlan, FaultRates, OffloadCall,
+    OffloadEvent, OffloadManager, OffloadOutcome, OffloadTarget, RetryPolicy, TargetClass,
+};
 pub use vm::{Hypervisor, VfpgaManager, Vm};

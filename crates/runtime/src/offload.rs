@@ -1,0 +1,1190 @@
+//! Fault-tolerant network offload: deterministic fault injection and
+//! recovery for remote kernel execution.
+//!
+//! The paper's runtime promises *dynamic adaptation* (Fig. 2) over a
+//! target system whose cloudFPGAs are reached over plain TCP/UDP
+//! (Fig. 4) — network peers that fail independently. This module closes
+//! that loop for the simulated stack:
+//!
+//! * [`FaultPlan`] — a seeded plan of per-device / per-link-profile
+//!   probabilities for dropped transfers, timeouts, corrupted results and
+//!   permanent device loss. Outcomes are a pure function of
+//!   `(seed, device, invocation, attempt)`, so a plan replays identically
+//!   at any thread count.
+//! * [`CircuitBreaker`] — the per-device Closed → Open → HalfOpen state
+//!   machine that stops hammering a failing device and probes it again
+//!   after a cooldown.
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter derived from the same seed.
+//! * [`OffloadManager`] — wraps every remote invocation with retry,
+//!   breaker and graceful degradation down a fallback chain (network
+//!   FPGA → bus-attached FPGA → host CPU reference kernel), feeding the
+//!   [`RuntimeMonitor`] and the `offload.*` telemetry counters, and
+//!   recording an [`OffloadEvent`] trace that is bit-identical for a
+//!   given seed at any `jobs` count.
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::monitor::RuntimeMonitor;
+use everest_platform::{Attachment, Link, LinkProfile, System};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The transfer was dropped on the wire (detected by timeout).
+    Drop,
+    /// The call exceeded its deadline.
+    Timeout,
+    /// The device answered, but the result failed its integrity check.
+    Corrupt,
+    /// The device disappeared for good (node loss, shell crash).
+    DeviceLoss,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::DeviceLoss => "device-loss",
+        })
+    }
+}
+
+/// Per-key fault probabilities. Each is in `[0, 1]` and their sum must
+/// not exceed 1 (they partition the outcome space of one attempt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a transfer is dropped.
+    pub drop: f64,
+    /// Probability a call times out.
+    pub timeout: f64,
+    /// Probability the result comes back corrupted.
+    pub corrupt: f64,
+    /// Probability the device is lost permanently.
+    pub device_loss: f64,
+}
+
+impl FaultRates {
+    /// No injected faults.
+    pub const NONE: FaultRates =
+        FaultRates { drop: 0.0, timeout: 0.0, corrupt: 0.0, device_loss: 0.0 };
+
+    fn validate(&self) -> RuntimeResult<()> {
+        let parts = [self.drop, self.timeout, self.corrupt, self.device_loss];
+        if parts.iter().any(|p| !(0.0..=1.0).contains(p)) || parts.iter().sum::<f64>() > 1.0 {
+            return Err(RuntimeError::Unknown(format!("invalid fault rates {self:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a, used to fold string keys into the outcome seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates the combined seed words.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Rates resolve per key, most specific first: an exact device override,
+/// then the device's [`LinkProfile`] name, then the plan default. The
+/// outcome of any attempt is a pure function of
+/// `(seed, device, invocation, attempt)` — independent of wall clock,
+/// thread interleaving and evaluation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    default_rates: FaultRates,
+    overrides: BTreeMap<String, FaultRates>,
+}
+
+impl FaultPlan {
+    /// The named profiles [`FaultPlan::from_profile`] understands.
+    pub const PROFILES: [&'static str; 4] = ["none", "lossy", "flaky", "meltdown"];
+
+    /// A plan applying `default_rates` to every target.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates outside `[0, 1]` or summing above 1.
+    pub fn new(seed: u64, default_rates: FaultRates) -> RuntimeResult<FaultPlan> {
+        default_rates.validate()?;
+        Ok(FaultPlan { seed, default_rates, overrides: BTreeMap::new() })
+    }
+
+    /// A plan that injects nothing (the healthy baseline).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan { seed, default_rates: FaultRates::NONE, overrides: BTreeMap::new() }
+    }
+
+    /// A named scenario, parseable from the CLI:
+    ///
+    /// * `none` — no faults;
+    /// * `lossy` — moderate drop/timeout/corruption on datacenter
+    ///   TCP/UDP links, bus attachments clean;
+    /// * `flaky` — heavy network faults including occasional device
+    ///   loss, and a whiff of bus errors;
+    /// * `meltdown` — every FPGA dies on first contact, forcing the CPU
+    ///   fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unknown`] for an unrecognized name.
+    pub fn from_profile(name: &str, seed: u64) -> RuntimeResult<FaultPlan> {
+        let network = |drop, timeout, corrupt, device_loss| FaultRates {
+            drop,
+            timeout,
+            corrupt,
+            device_loss,
+        };
+        match name.trim().to_ascii_lowercase().as_str() {
+            "none" => Ok(FaultPlan::none(seed)),
+            "lossy" => FaultPlan::none(seed)
+                .with_rates(LinkProfile::TcpDatacenter.name(), network(0.15, 0.10, 0.05, 0.0))?
+                .with_rates(LinkProfile::UdpDatacenter.name(), network(0.20, 0.05, 0.05, 0.0)),
+            "flaky" => FaultPlan::none(seed)
+                .with_rates(LinkProfile::TcpDatacenter.name(), network(0.30, 0.20, 0.10, 0.02))?
+                .with_rates(LinkProfile::UdpDatacenter.name(), network(0.35, 0.15, 0.10, 0.02))?
+                .with_rates(LinkProfile::OpenCapi.name(), network(0.02, 0.0, 0.01, 0.0)),
+            "meltdown" => FaultPlan::new(seed, FaultRates { device_loss: 1.0, ..FaultRates::NONE }),
+            other => Err(RuntimeError::Unknown(format!(
+                "fault profile '{other}' (expected one of: {})",
+                FaultPlan::PROFILES.join(", ")
+            ))),
+        }
+    }
+
+    /// Overrides the rates for one key (a device name or a
+    /// [`LinkProfile`] name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid rates, like [`FaultPlan::new`].
+    pub fn with_rates(mut self, key: &str, rates: FaultRates) -> RuntimeResult<FaultPlan> {
+        rates.validate()?;
+        self.overrides.insert(key.to_owned(), rates);
+        Ok(self)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolves the rates for a device, most specific key first.
+    pub fn rates_for(&self, device: &str, profile: Option<LinkProfile>) -> FaultRates {
+        if let Some(rates) = self.overrides.get(device) {
+            return *rates;
+        }
+        if let Some(rates) = profile.and_then(|p| self.overrides.get(p.name())) {
+            return *rates;
+        }
+        self.default_rates
+    }
+
+    /// Samples the outcome of one attempt: `None` is success. Pure in
+    /// `(seed, device, invocation, attempt)`.
+    pub fn outcome(
+        &self,
+        device: &str,
+        profile: Option<LinkProfile>,
+        invocation: u64,
+        attempt: u32,
+    ) -> Option<FaultKind> {
+        let rates = self.rates_for(device, profile);
+        let seed = mix(self.seed ^ fnv1a(device))
+            ^ mix(invocation.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(u64::from(attempt)));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        let mut edge = rates.device_loss;
+        if draw < edge {
+            return Some(FaultKind::DeviceLoss);
+        }
+        edge += rates.drop;
+        if draw < edge {
+            return Some(FaultKind::Drop);
+        }
+        edge += rates.timeout;
+        if draw < edge {
+            return Some(FaultKind::Timeout);
+        }
+        edge += rates.corrupt;
+        if draw < edge {
+            return Some(FaultKind::Corrupt);
+        }
+        None
+    }
+}
+
+/// Retry/backoff configuration for one offload target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per target before falling back (>= 1).
+    pub max_attempts: u32,
+    /// Deadline charged to a dropped or timed-out attempt, microseconds.
+    pub timeout_us: f64,
+    /// First backoff, microseconds.
+    pub base_us: f64,
+    /// Multiplier between consecutive backoffs.
+    pub factor: f64,
+    /// Backoff ceiling, microseconds.
+    pub cap_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout_us: 2_000.0,
+            base_us: 200.0,
+            factor: 2.0,
+            cap_us: 5_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The un-jittered backoff before retry number `attempt` (1-based):
+    /// `base * factor^(attempt-1)`, capped. Non-decreasing in `attempt`.
+    pub fn nominal_backoff_us(&self, attempt: u32) -> f64 {
+        (self.base_us * self.factor.powi(attempt.saturating_sub(1) as i32)).min(self.cap_us)
+    }
+
+    /// The jittered backoff: deterministic "equal jitter" in
+    /// `[nominal/2, nominal)`, derived from `(seed, device, invocation,
+    /// attempt)` so schedules replay bit-identically per seed.
+    pub fn backoff_us(&self, seed: u64, device: &str, invocation: u64, attempt: u32) -> f64 {
+        let nominal = self.nominal_backoff_us(attempt);
+        let word = mix(seed ^ fnv1a(device).rotate_left(17))
+            ^ mix(invocation.wrapping_mul(0x9e37_79b9).wrapping_add(u64::from(attempt)));
+        let mut rng = ChaCha8Rng::seed_from_u64(word);
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        nominal * (0.5 + 0.5 * unit)
+    }
+}
+
+/// Circuit-breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: calls are rejected until the cooldown elapses.
+    Open,
+    /// Probing: a limited number of trial calls decide re-close vs re-open.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub trip_after: u32,
+    /// Time the breaker stays Open before probing, microseconds.
+    pub cooldown_us: f64,
+    /// Consecutive half-open successes that re-close the breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { trip_after: 3, cooldown_us: 10_000.0, close_after: 2 }
+    }
+}
+
+/// Per-device circuit breaker over simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    open_until_us: f64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            open_until_us: 0.0,
+        }
+    }
+
+    /// The current state *without* advancing time.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The state at simulated time `now_us`, transitioning Open →
+    /// HalfOpen once the cooldown has elapsed.
+    pub fn poll(&mut self, now_us: f64) -> BreakerState {
+        if self.state == BreakerState::Open && now_us >= self.open_until_us {
+            self.state = BreakerState::HalfOpen;
+            self.half_open_successes = 0;
+        }
+        self.state
+    }
+
+    /// Records a successful call. Returns `true` when this success
+    /// re-closes a half-open breaker.
+    pub fn on_success(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                false
+            }
+            BreakerState::HalfOpen => {
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.cfg.close_after {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            // A success while Open cannot happen (calls are rejected);
+            // tolerate it as a no-op for robustness.
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Records a failed call at simulated time `now_us`. Returns `true`
+    /// when this failure trips the breaker open (from either Closed, on
+    /// reaching the threshold, or HalfOpen, immediately).
+    pub fn on_failure(&mut self, now_us: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.trip_after {
+                    self.state = BreakerState::Open;
+                    self.open_until_us = now_us + self.cfg.cooldown_us;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_until_us = now_us + self.cfg.cooldown_us;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Latches the breaker open forever (device loss).
+    pub fn force_open(&mut self) {
+        self.state = BreakerState::Open;
+        self.open_until_us = f64::INFINITY;
+    }
+}
+
+/// Where in the fallback chain a target sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClass {
+    /// Disaggregated cloudFPGA reached over the datacenter network.
+    NetworkFpga,
+    /// Cache-coherent bus-attached FPGA on the host node.
+    BusFpga,
+    /// The host CPU running the reference software kernel.
+    HostCpu,
+}
+
+impl fmt::Display for TargetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TargetClass::NetworkFpga => "network-fpga",
+            TargetClass::BusFpga => "bus-fpga",
+            TargetClass::HostCpu => "host-cpu",
+        })
+    }
+}
+
+/// One rung of the fallback chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadTarget {
+    /// `node/device` name (`cloud-p9/cpu` for the software fallback).
+    pub device: String,
+    /// Target class.
+    pub class: TargetClass,
+    /// Link the payload crosses to reach the target.
+    pub link: Link,
+    /// The link's named profile, used to resolve fault rates.
+    pub profile: Option<LinkProfile>,
+    /// Kernel speedup relative to the CPU reference.
+    pub speedup: f64,
+}
+
+/// One kernel invocation to offload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadCall {
+    /// Kernel name (for the trace and error messages).
+    pub kernel: String,
+    /// Payload moved to (and from) the target, bytes.
+    pub payload_bytes: u64,
+    /// Kernel work at CPU-reference speed, microseconds.
+    pub work_us: f64,
+}
+
+/// How one invocation ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadOutcome {
+    /// Invocation index (assignment order).
+    pub task: u64,
+    /// Device that completed the call.
+    pub device: String,
+    /// Its class.
+    pub class: TargetClass,
+    /// Attempts made across the whole chain.
+    pub attempts: u32,
+    /// Simulated end-to-end time, microseconds (transfers, timeouts,
+    /// backoffs, compute).
+    pub elapsed_us: f64,
+    /// `true` when the call did not complete on the chain's first rung.
+    pub degraded: bool,
+}
+
+/// One entry of the deterministic retry/fallback trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffloadEvent {
+    /// An attempt started on a device.
+    Attempt {
+        /// Invocation index.
+        task: u64,
+        /// Target device.
+        device: String,
+        /// Attempt number on this device (0-based).
+        attempt: u32,
+    },
+    /// An attempt failed.
+    Fault {
+        /// Invocation index.
+        task: u64,
+        /// Target device.
+        device: String,
+        /// Attempt number on this device.
+        attempt: u32,
+        /// Failure mode.
+        kind: FaultKind,
+    },
+    /// The manager backed off before retrying.
+    Backoff {
+        /// Invocation index.
+        task: u64,
+        /// Target device.
+        device: String,
+        /// The retry this wait precedes (1-based).
+        attempt: u32,
+        /// Jittered wait, microseconds.
+        wait_us: f64,
+    },
+    /// A target was skipped without an attempt.
+    Skip {
+        /// Invocation index.
+        task: u64,
+        /// Skipped device.
+        device: String,
+        /// Why (`breaker-open` or `device-lost`).
+        reason: &'static str,
+    },
+    /// A device's breaker tripped open.
+    BreakerOpened {
+        /// Invocation index that tripped it.
+        task: u64,
+        /// Device.
+        device: String,
+    },
+    /// A breaker began half-open probing.
+    BreakerHalfOpen {
+        /// Invocation index probing it.
+        task: u64,
+        /// Device.
+        device: String,
+    },
+    /// A half-open breaker re-closed after successful probes.
+    BreakerClosed {
+        /// Invocation index that closed it.
+        task: u64,
+        /// Device.
+        device: String,
+    },
+    /// A device was lost permanently.
+    DeviceLost {
+        /// Invocation index that observed the loss.
+        task: u64,
+        /// Device.
+        device: String,
+    },
+    /// The call moved down the fallback chain.
+    Fallback {
+        /// Invocation index.
+        task: u64,
+        /// Abandoned device.
+        from: String,
+        /// Next device in the chain.
+        to: String,
+    },
+    /// The call completed.
+    Completed {
+        /// Invocation index.
+        task: u64,
+        /// Completing device.
+        device: String,
+        /// Its class.
+        class: TargetClass,
+        /// Attempts across the whole chain.
+        attempts: u32,
+        /// Simulated end-to-end time, microseconds.
+        elapsed_us: f64,
+    },
+}
+
+impl fmt::Display for OffloadEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadEvent::Attempt { task, device, attempt } => {
+                write!(f, "task {task}: attempt {attempt} on {device}")
+            }
+            OffloadEvent::Fault { task, device, attempt, kind } => {
+                write!(f, "task {task}: {kind} on {device} (attempt {attempt})")
+            }
+            OffloadEvent::Backoff { task, device, attempt, wait_us } => {
+                write!(f, "task {task}: backoff {wait_us:.1} us before retry {attempt} on {device}")
+            }
+            OffloadEvent::Skip { task, device, reason } => {
+                write!(f, "task {task}: skip {device} ({reason})")
+            }
+            OffloadEvent::BreakerOpened { task, device } => {
+                write!(f, "task {task}: breaker OPEN on {device}")
+            }
+            OffloadEvent::BreakerHalfOpen { task, device } => {
+                write!(f, "task {task}: breaker HALF-OPEN on {device}")
+            }
+            OffloadEvent::BreakerClosed { task, device } => {
+                write!(f, "task {task}: breaker CLOSED on {device}")
+            }
+            OffloadEvent::DeviceLost { task, device } => {
+                write!(f, "task {task}: device LOST: {device}")
+            }
+            OffloadEvent::Fallback { task, from, to } => {
+                write!(f, "task {task}: fallback {from} -> {to}")
+            }
+            OffloadEvent::Completed { task, device, class, attempts, elapsed_us } => {
+                write!(
+                    f,
+                    "task {task}: completed on {device} [{class}] after {attempts} attempts, {elapsed_us:.1} us"
+                )
+            }
+        }
+    }
+}
+
+/// Pre-sampled fault outcomes and backoffs for one call: per chain rung,
+/// per attempt. Pure data — phase 1 of [`OffloadManager::run_batch`]
+/// computes these in parallel, phase 2 consumes them sequentially.
+#[derive(Debug, Clone)]
+struct CallSchedule {
+    outcomes: Vec<Vec<Option<FaultKind>>>,
+    backoffs: Vec<Vec<f64>>,
+}
+
+/// Wraps remote kernel invocations with retry, circuit breaking and
+/// graceful degradation. See the module docs for the full contract.
+#[derive(Debug, Clone)]
+pub struct OffloadManager {
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    chain: Vec<OffloadTarget>,
+    breakers: Vec<CircuitBreaker>,
+    lost: Vec<bool>,
+    monitor: RuntimeMonitor,
+    events: Vec<OffloadEvent>,
+    clock_us: f64,
+    invocations: u64,
+}
+
+impl OffloadManager {
+    /// A manager over an explicit fallback chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unknown`] for an empty chain.
+    pub fn new(chain: Vec<OffloadTarget>, plan: FaultPlan) -> RuntimeResult<OffloadManager> {
+        if chain.is_empty() {
+            return Err(RuntimeError::Unknown("empty offload chain".to_owned()));
+        }
+        let breakers = vec![CircuitBreaker::new(BreakerConfig::default()); chain.len()];
+        let lost = vec![false; chain.len()];
+        Ok(OffloadManager {
+            plan,
+            retry: RetryPolicy::default(),
+            breakers,
+            lost,
+            chain,
+            monitor: RuntimeMonitor::new(0),
+            events: Vec::new(),
+            clock_us: 0.0,
+            invocations: 0,
+        })
+    }
+
+    /// Builds the paper's fallback chain from a system model: every
+    /// network-attached FPGA (preferred — disaggregated capacity), then
+    /// every bus-attached FPGA, then the host CPU reference kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unknown`] when the system has no nodes.
+    pub fn for_system(system: &System, plan: FaultPlan) -> RuntimeResult<OffloadManager> {
+        let host = system
+            .nodes()
+            .first()
+            .ok_or_else(|| RuntimeError::Unknown("system has no nodes".to_owned()))?;
+        let mut network = Vec::new();
+        let mut bus = Vec::new();
+        for node in system.nodes() {
+            for device in &node.devices {
+                let link = *device.attachment.link();
+                let target = OffloadTarget {
+                    device: format!("{}/{}", node.name, device.name),
+                    class: if device.attachment.is_disaggregated() {
+                        TargetClass::NetworkFpga
+                    } else {
+                        TargetClass::BusFpga
+                    },
+                    link,
+                    profile: LinkProfile::of(&link),
+                    speedup: 4.0,
+                };
+                match device.attachment {
+                    Attachment::Network(_) => network.push(target),
+                    Attachment::Bus(_) => bus.push(target),
+                }
+            }
+        }
+        let mut chain = network;
+        chain.extend(bus);
+        chain.push(OffloadTarget {
+            device: format!("{}/cpu", host.name),
+            class: TargetClass::HostCpu,
+            // Host DRAM: effectively free for payloads at this granularity.
+            link: Link::new(0.0, 1_000.0, 0),
+            profile: None,
+            speedup: 1.0,
+        });
+        OffloadManager::new(chain, plan)
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> OffloadManager {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces every breaker's thresholds (breakers reset to Closed).
+    #[must_use]
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> OffloadManager {
+        self.breakers = vec![CircuitBreaker::new(cfg); self.chain.len()];
+        self
+    }
+
+    /// The fallback chain, in preference order.
+    pub fn chain(&self) -> &[OffloadTarget] {
+        &self.chain
+    }
+
+    /// The event trace so far, in invocation order.
+    pub fn events(&self) -> &[OffloadEvent] {
+        &self.events
+    }
+
+    /// The monitor fed by completed invocations.
+    pub fn monitor(&self) -> &RuntimeMonitor {
+        &self.monitor
+    }
+
+    /// The breaker guarding `device`, if it is in the chain.
+    pub fn breaker(&self, device: &str) -> Option<&CircuitBreaker> {
+        self.chain.iter().position(|t| t.device == device).map(|i| &self.breakers[i])
+    }
+
+    /// Devices currently unusable: lost, or breaker not Closed.
+    pub fn tripped_devices(&self) -> Vec<String> {
+        self.chain
+            .iter()
+            .zip(&self.breakers)
+            .zip(&self.lost)
+            .filter(|((_, b), lost)| **lost || b.state() != BreakerState::Closed)
+            .map(|((t, _), _)| t.device.clone())
+            .collect()
+    }
+
+    /// The trace as one line per event (what `everestc offload` prints
+    /// and what the determinism contract compares).
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Pre-samples the fault outcomes and backoffs for one call. Pure:
+    /// depends only on the plan seed, the chain and the invocation index.
+    fn sample_schedule(&self, task: u64) -> CallSchedule {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut outcomes = Vec::with_capacity(self.chain.len());
+        let mut backoffs = Vec::with_capacity(self.chain.len());
+        for target in &self.chain {
+            let per_target: Vec<Option<FaultKind>> = (0..attempts)
+                .map(|attempt| {
+                    if target.class == TargetClass::HostCpu {
+                        // The reference kernel is local: no injected faults.
+                        None
+                    } else {
+                        self.plan.outcome(&target.device, target.profile, task, attempt)
+                    }
+                })
+                .collect();
+            let waits: Vec<f64> = (1..=attempts)
+                .map(|attempt| {
+                    self.retry.backoff_us(self.plan.seed(), &target.device, task, attempt)
+                })
+                .collect();
+            outcomes.push(per_target);
+            backoffs.push(waits);
+        }
+        CallSchedule { outcomes, backoffs }
+    }
+
+    /// Executes one call with retry, breaker and fallback, consuming a
+    /// pre-sampled schedule. This is the *sequential fold*: it mutates
+    /// breakers, the virtual clock and the event trace, and must run in
+    /// invocation order for the determinism contract to hold.
+    fn execute_scheduled(
+        &mut self,
+        call: &OffloadCall,
+        schedule: &CallSchedule,
+    ) -> RuntimeResult<OffloadOutcome> {
+        let task = self.invocations;
+        self.invocations += 1;
+        let telemetry = everest_telemetry::metrics();
+        let mut attempts_total: u32 = 0;
+        let last = self.chain.len() - 1;
+
+        for idx in 0..self.chain.len() {
+            let device = self.chain[idx].device.clone();
+            let fallthrough = |mgr: &mut OffloadManager, tried: bool| {
+                if idx < last {
+                    let to = mgr.chain[idx + 1].device.clone();
+                    mgr.events.push(OffloadEvent::Fallback { task, from: device.clone(), to });
+                    if tried {
+                        telemetry.counter_inc("offload.fallbacks");
+                    }
+                }
+            };
+
+            if self.lost[idx] {
+                self.events.push(OffloadEvent::Skip {
+                    task,
+                    device: device.clone(),
+                    reason: "device-lost",
+                });
+                fallthrough(self, false);
+                continue;
+            }
+            match self.breakers[idx].poll(self.clock_us) {
+                BreakerState::Open => {
+                    self.events.push(OffloadEvent::Skip {
+                        task,
+                        device: device.clone(),
+                        reason: "breaker-open",
+                    });
+                    fallthrough(self, false);
+                    continue;
+                }
+                BreakerState::HalfOpen => {
+                    self.events
+                        .push(OffloadEvent::BreakerHalfOpen { task, device: device.clone() });
+                }
+                BreakerState::Closed => {}
+            }
+
+            let target = self.chain[idx].clone();
+            let transfer_us = target.link.transfer_us(call.payload_bytes);
+            let compute_us = call.work_us / target.speedup;
+            let mut abandoned = false;
+            for attempt in 0..self.retry.max_attempts.max(1) {
+                self.events.push(OffloadEvent::Attempt { task, device: device.clone(), attempt });
+                attempts_total += 1;
+                match schedule.outcomes[idx][attempt as usize] {
+                    None => {
+                        let latency = transfer_us + compute_us;
+                        self.clock_us += latency;
+                        self.monitor.record(latency, false, false);
+                        telemetry.observe("offload.latency_us", latency);
+                        telemetry.counter_inc("offload.completed");
+                        if self.breakers[idx].on_success() {
+                            self.events
+                                .push(OffloadEvent::BreakerClosed { task, device: device.clone() });
+                        }
+                        self.events.push(OffloadEvent::Completed {
+                            task,
+                            device: device.clone(),
+                            class: target.class,
+                            attempts: attempts_total,
+                            elapsed_us: self.clock_us,
+                        });
+                        return Ok(OffloadOutcome {
+                            task,
+                            device,
+                            class: target.class,
+                            attempts: attempts_total,
+                            elapsed_us: self.clock_us,
+                            degraded: idx != 0,
+                        });
+                    }
+                    Some(kind) => {
+                        telemetry.counter_inc("offload.faults");
+                        self.events.push(OffloadEvent::Fault {
+                            task,
+                            device: device.clone(),
+                            attempt,
+                            kind,
+                        });
+                        // Cost of the failed attempt: a corrupt result
+                        // came back (full round trip, checksum reject);
+                        // everything else burns the deadline.
+                        let penalty = match kind {
+                            FaultKind::Corrupt => transfer_us + compute_us,
+                            _ => self.retry.timeout_us,
+                        };
+                        self.clock_us += penalty;
+                        self.monitor.record(penalty, false, kind == FaultKind::Corrupt);
+                        if kind == FaultKind::DeviceLoss {
+                            self.lost[idx] = true;
+                            self.breakers[idx].force_open();
+                            telemetry.counter_inc("offload.device_loss");
+                            self.events
+                                .push(OffloadEvent::DeviceLost { task, device: device.clone() });
+                            abandoned = true;
+                            break;
+                        }
+                        if self.breakers[idx].on_failure(self.clock_us) {
+                            telemetry.counter_inc("offload.breaker.open");
+                            self.events
+                                .push(OffloadEvent::BreakerOpened { task, device: device.clone() });
+                            abandoned = true;
+                            break;
+                        }
+                        let retry_no = attempt + 1;
+                        if retry_no >= self.retry.max_attempts {
+                            abandoned = true;
+                            break;
+                        }
+                        let wait_us = schedule.backoffs[idx][retry_no as usize - 1];
+                        self.clock_us += wait_us;
+                        telemetry.counter_inc("offload.retries");
+                        self.events.push(OffloadEvent::Backoff {
+                            task,
+                            device: device.clone(),
+                            attempt: retry_no,
+                            wait_us,
+                        });
+                    }
+                }
+            }
+            debug_assert!(abandoned, "loop only exits via success or abandonment");
+            fallthrough(self, true);
+        }
+        Err(RuntimeError::OffloadFailed { kernel: call.kernel.clone(), attempts: attempts_total })
+    }
+
+    /// Executes one call (samples its schedule inline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OffloadFailed`] when every target in the
+    /// chain fails — impossible while the chain ends in a host CPU.
+    pub fn execute(&mut self, call: &OffloadCall) -> RuntimeResult<OffloadOutcome> {
+        let schedule = self.sample_schedule(self.invocations);
+        self.execute_scheduled(call, &schedule)
+    }
+
+    /// Executes a batch: fault outcomes and backoff schedules are
+    /// pre-sampled on up to `jobs` threads (phase 1, pure), then the
+    /// retry/breaker/fallback fold runs sequentially in invocation order
+    /// (phase 2). Because phase 1 is a pure function of the seed and the
+    /// invocation index, the event trace, outcomes and counters are
+    /// bit-identical at any `jobs` count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError::OffloadFailed`].
+    pub fn run_batch(
+        &mut self,
+        calls: &[OffloadCall],
+        jobs: usize,
+    ) -> RuntimeResult<Vec<OffloadOutcome>> {
+        let mut span = everest_telemetry::span("offload.run_batch", "offload");
+        span.attr("calls", calls.len());
+        span.attr("jobs", jobs);
+        let first_task = self.invocations;
+        let schedules = self.parallel_schedules(calls.len(), first_task, jobs);
+        calls
+            .iter()
+            .zip(&schedules)
+            .map(|(call, schedule)| self.execute_scheduled(call, schedule))
+            .collect()
+    }
+
+    /// Phase 1: samples `count` schedules for tasks starting at
+    /// `first_task`, fanning contiguous chunks out to scoped threads.
+    fn parallel_schedules(&self, count: usize, first_task: u64, jobs: usize) -> Vec<CallSchedule> {
+        let jobs = jobs.max(1).min(count.max(1));
+        if jobs <= 1 {
+            return (0..count).map(|i| self.sample_schedule(first_task + i as u64)).collect();
+        }
+        let chunk = count.div_ceil(jobs);
+        let mut chunks: Vec<Vec<CallSchedule>> = Vec::with_capacity(jobs);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(count);
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .map(|i| self.sample_schedule(first_task + i as u64))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                chunks.push(handle.join().expect("schedule sampler panicked"));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(kernel: &str) -> OffloadCall {
+        OffloadCall { kernel: kernel.into(), payload_bytes: 64 << 10, work_us: 400.0 }
+    }
+
+    fn manager(profile: &str, seed: u64) -> OffloadManager {
+        let plan = FaultPlan::from_profile(profile, seed).unwrap();
+        OffloadManager::for_system(&System::everest_reference(), plan).unwrap()
+    }
+
+    #[test]
+    fn chain_orders_network_then_bus_then_cpu() {
+        let mgr = manager("none", 1);
+        let classes: Vec<TargetClass> = mgr.chain().iter().map(|t| t.class).collect();
+        assert_eq!(classes.len(), 8, "7 FPGAs + CPU");
+        let first_bus = classes.iter().position(|c| *c == TargetClass::BusFpga).unwrap();
+        assert!(classes[..first_bus].iter().all(|c| *c == TargetClass::NetworkFpga));
+        assert_eq!(*classes.last().unwrap(), TargetClass::HostCpu);
+        // Network FPGAs resolve their link profile for rate lookup.
+        assert_eq!(mgr.chain()[0].profile, Some(LinkProfile::UdpDatacenter));
+    }
+
+    #[test]
+    fn healthy_plan_completes_on_first_rung_without_degradation() {
+        let mut mgr = manager("none", 42);
+        let outcome = mgr.execute(&call("fft")).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.class, TargetClass::NetworkFpga);
+        assert!(mgr.tripped_devices().is_empty());
+    }
+
+    #[test]
+    fn meltdown_falls_back_to_cpu_and_reports_degraded() {
+        let mut mgr = manager("meltdown", 7);
+        let outcome = mgr.execute(&call("fft")).unwrap();
+        assert_eq!(outcome.class, TargetClass::HostCpu);
+        assert!(outcome.degraded);
+        // Every FPGA died on first contact and stays dead.
+        assert_eq!(mgr.tripped_devices().len(), 7);
+        let second = mgr.execute(&call("fft")).unwrap();
+        assert_eq!(second.class, TargetClass::HostCpu);
+        // Dead devices are skipped, not re-attempted.
+        assert_eq!(second.attempts, 1);
+    }
+
+    #[test]
+    fn fault_outcomes_are_pure_functions_of_their_inputs() {
+        let plan = FaultPlan::from_profile("flaky", 99).unwrap();
+        for invocation in 0..50 {
+            for attempt in 0..4 {
+                let a =
+                    plan.outcome("rack/cf0", Some(LinkProfile::UdpDatacenter), invocation, attempt);
+                let b =
+                    plan.outcome("rack/cf0", Some(LinkProfile::UdpDatacenter), invocation, attempt);
+                assert_eq!(a, b);
+            }
+        }
+        // Different seeds decorrelate.
+        let other = FaultPlan::from_profile("flaky", 100).unwrap();
+        let same = (0..200).all(|i| {
+            plan.outcome("d", Some(LinkProfile::TcpDatacenter), i, 0)
+                == other.outcome("d", Some(LinkProfile::TcpDatacenter), i, 0)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn rates_resolve_most_specific_key_first() {
+        let lossy = FaultRates { drop: 0.5, ..FaultRates::NONE };
+        let clean = FaultRates::NONE;
+        let plan = FaultPlan::new(3, FaultRates { timeout: 0.1, ..FaultRates::NONE })
+            .unwrap()
+            .with_rates("udp-datacenter", lossy)
+            .unwrap()
+            .with_rates("rack/cf0", clean)
+            .unwrap();
+        assert_eq!(plan.rates_for("rack/cf0", Some(LinkProfile::UdpDatacenter)), clean);
+        assert_eq!(plan.rates_for("rack/cf1", Some(LinkProfile::UdpDatacenter)), lossy);
+        assert_eq!(plan.rates_for("p9/capi0", None).timeout, 0.1);
+    }
+
+    #[test]
+    fn invalid_rates_and_unknown_profiles_rejected() {
+        assert!(FaultPlan::new(0, FaultRates { drop: 1.2, ..FaultRates::NONE }).is_err());
+        assert!(FaultPlan::new(
+            0,
+            FaultRates { drop: 0.6, timeout: 0.6, corrupt: 0.0, device_loss: 0.0 }
+        )
+        .is_err());
+        let err = FaultPlan::from_profile("apocalypse", 0).unwrap_err();
+        assert!(err.to_string().contains("apocalypse"));
+        assert!(err.to_string().contains("meltdown"), "lists the valid profiles");
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recloses() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_us: 100.0,
+            close_after: 2,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(0.0));
+        assert!(!b.on_failure(1.0));
+        assert!(b.on_failure(2.0), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Still open inside the cooldown window.
+        assert_eq!(b.poll(50.0), BreakerState::Open);
+        assert_eq!(b.poll(102.0), BreakerState::HalfOpen);
+        assert!(!b.on_success(), "first probe success is not enough");
+        assert!(b.on_success(), "second probe success re-closes");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_success_resets_closed_count() {
+        let mut b =
+            CircuitBreaker::new(BreakerConfig { trip_after: 2, cooldown_us: 10.0, close_after: 1 });
+        b.on_failure(0.0);
+        b.on_failure(0.0);
+        assert_eq!(b.poll(20.0), BreakerState::HalfOpen);
+        assert!(b.on_failure(20.0), "half-open failure re-trips immediately");
+        assert_eq!(b.state(), BreakerState::Open);
+        // A closed-state success clears the consecutive-failure count.
+        let mut c = CircuitBreaker::new(BreakerConfig::default());
+        c.on_failure(0.0);
+        c.on_failure(0.0);
+        c.on_success();
+        assert!(!c.on_failure(1.0));
+        assert!(!c.on_failure(2.0), "count restarted after the success");
+    }
+
+    #[test]
+    fn force_open_is_permanent() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        b.force_open();
+        assert_eq!(b.poll(f64::MAX / 2.0), BreakerState::Open);
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_deterministic() {
+        let retry = RetryPolicy::default();
+        for attempt in 1..=8 {
+            let nominal = retry.nominal_backoff_us(attempt);
+            assert!(nominal <= retry.cap_us);
+            let jittered = retry.backoff_us(5, "rack/cf0", 3, attempt);
+            assert!(jittered >= 0.5 * nominal && jittered < nominal);
+            assert_eq!(jittered, retry.backoff_us(5, "rack/cf0", 3, attempt));
+        }
+        assert!(retry.nominal_backoff_us(2) > retry.nominal_backoff_us(1));
+    }
+
+    #[test]
+    fn batch_trace_is_identical_at_any_job_count() {
+        let calls: Vec<OffloadCall> = (0..24).map(|i| call(&format!("k{i}"))).collect();
+        let mut serial = manager("flaky", 1234);
+        let serial_out = serial.run_batch(&calls, 1).unwrap();
+        for jobs in [2, 4, 7] {
+            let mut parallel = manager("flaky", 1234);
+            let out = parallel.run_batch(&calls, jobs).unwrap();
+            assert_eq!(out, serial_out, "outcomes diverge at jobs={jobs}");
+            assert_eq!(parallel.trace(), serial.trace(), "trace diverges at jobs={jobs}");
+        }
+        // The flaky profile actually exercises the recovery machinery.
+        assert!(serial.trace().contains("backoff"), "expected retries in the trace");
+    }
+
+    #[test]
+    fn interleaved_execute_matches_batch() {
+        let calls: Vec<OffloadCall> = (0..6).map(|i| call(&format!("k{i}"))).collect();
+        let mut batch = manager("lossy", 9);
+        batch.run_batch(&calls, 4).unwrap();
+        let mut one_by_one = manager("lossy", 9);
+        for c in &calls {
+            one_by_one.execute(c).unwrap();
+        }
+        assert_eq!(one_by_one.trace(), batch.trace());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(OffloadManager::new(vec![], FaultPlan::none(0)).is_err());
+    }
+}

@@ -56,14 +56,15 @@ impl VfpgaManager {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Allocation`] when no device can host the
-    /// role.
+    /// Returns [`RuntimeError::Exhausted`] when no device can host the
+    /// role, naming every device tried and why it refused.
     pub fn request(
         &mut self,
         vm: &str,
         role_name: &str,
         area: AreaReport,
     ) -> RuntimeResult<String> {
+        let mut refusals = Vec::with_capacity(self.devices.len());
         for (di, device) in self.devices.iter_mut().enumerate() {
             let role = Role { name: role_name.to_owned(), area };
             match device.deploy(role) {
@@ -74,13 +75,10 @@ impl VfpgaManager {
                         .insert(handle.clone(), Grant { device: di, slot, vm: vm.to_owned() });
                     return Ok(handle);
                 }
-                Err(_) => continue,
+                Err(e) => refusals.push((device.name.clone(), e.to_string())),
             }
         }
-        Err(RuntimeError::Allocation(format!(
-            "no device can host '{role_name}' ({} LUTs)",
-            area.luts
-        )))
+        Err(RuntimeError::Exhausted { role: role_name.to_owned(), luts: area.luts, refusals })
     }
 
     /// Releases a handle, freeing the PR slot.
@@ -190,7 +188,7 @@ impl Hypervisor {
     /// # Errors
     ///
     /// [`RuntimeError::Unknown`] for a missing VM;
-    /// [`RuntimeError::Allocation`] when no device fits.
+    /// [`RuntimeError::Exhausted`] when no device fits.
     pub fn attach_vfpga(
         &mut self,
         vm_name: &str,
@@ -271,10 +269,16 @@ mod tests {
         for i in 0..4 {
             h.attach_vfpga("g", &format!("r{i}"), small_area(1_000)).unwrap();
         }
-        assert!(matches!(
-            h.attach_vfpga("g", "r4", small_area(1_000)),
-            Err(RuntimeError::Allocation(_))
-        ));
+        let err = h.attach_vfpga("g", "r4", small_area(1_000)).unwrap_err();
+        let RuntimeError::Exhausted { role, refusals, .. } = err else {
+            panic!("expected Exhausted, got {err:?}");
+        };
+        assert_eq!(role, "r4");
+        // Both devices are named with their refusal reason.
+        assert_eq!(refusals.len(), 2);
+        assert_eq!(refusals[0].0, "capi0");
+        assert_eq!(refusals[1].0, "cf0");
+        assert!(refusals.iter().all(|(_, reason)| reason.contains("PR slots")));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Integration tests for the offload recovery layer: circuit-breaker
+//! state machine transitions, deterministic bounded backoff schedules,
+//! and end-to-end batch recovery over the reference system.
+
+use everest_platform::System;
+use everest_runtime::offload::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultPlan, OffloadCall, OffloadManager,
+    RetryPolicy, TargetClass,
+};
+use proptest::prelude::*;
+
+fn call(i: usize) -> OffloadCall {
+    OffloadCall { kernel: format!("k{i}"), payload_bytes: 32 << 10, work_us: 250.0 }
+}
+
+#[test]
+fn breaker_walks_the_full_state_machine() {
+    let cfg = BreakerConfig { trip_after: 2, cooldown_us: 50.0, close_after: 2 };
+    let mut b = CircuitBreaker::new(cfg);
+
+    // Closed: failures below the threshold stay closed.
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert!(!b.on_failure(0.0));
+    assert_eq!(b.state(), BreakerState::Closed);
+
+    // Trip: the threshold failure opens it.
+    assert!(b.on_failure(10.0));
+    assert_eq!(b.state(), BreakerState::Open);
+
+    // Open: rejects until the cooldown elapses, then probes.
+    assert_eq!(b.poll(40.0), BreakerState::Open);
+    assert_eq!(b.poll(60.0), BreakerState::HalfOpen);
+
+    // Half-open probe failure re-opens with a fresh cooldown.
+    assert!(b.on_failure(60.0));
+    assert_eq!(b.poll(100.0), BreakerState::Open);
+    assert_eq!(b.poll(111.0), BreakerState::HalfOpen);
+
+    // Two probe successes re-close; the failure counter starts fresh.
+    assert!(!b.on_success());
+    assert!(b.on_success());
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert!(!b.on_failure(200.0));
+    assert!(b.on_failure(201.0), "threshold counts only post-close failures");
+}
+
+#[test]
+fn flaky_batch_recovers_and_replays_identically() {
+    let calls: Vec<OffloadCall> = (0..32).map(call).collect();
+    let reference = {
+        let plan = FaultPlan::from_profile("flaky", 2024).unwrap();
+        let mut mgr = OffloadManager::for_system(&System::everest_reference(), plan).unwrap();
+        let outcomes = mgr.run_batch(&calls, 1).unwrap();
+        assert_eq!(outcomes.len(), calls.len(), "every call completes despite faults");
+        (outcomes, mgr.trace())
+    };
+    for jobs in [2, 4, 8] {
+        let plan = FaultPlan::from_profile("flaky", 2024).unwrap();
+        let mut mgr = OffloadManager::for_system(&System::everest_reference(), plan).unwrap();
+        let outcomes = mgr.run_batch(&calls, jobs).unwrap();
+        assert_eq!(outcomes, reference.0, "outcomes diverge at jobs={jobs}");
+        assert_eq!(mgr.trace(), reference.1, "trace diverges at jobs={jobs}");
+    }
+}
+
+#[test]
+fn meltdown_still_completes_every_call_on_the_cpu() {
+    let plan = FaultPlan::from_profile("meltdown", 1).unwrap();
+    let mut mgr = OffloadManager::for_system(&System::everest_reference(), plan).unwrap();
+    let calls: Vec<OffloadCall> = (0..10).map(call).collect();
+    let outcomes = mgr.run_batch(&calls, 4).unwrap();
+    assert!(outcomes.iter().all(|o| o.class == TargetClass::HostCpu));
+    assert!(outcomes.iter().all(|o| o.degraded));
+    // All seven FPGAs of the reference system are gone for good.
+    assert_eq!(mgr.tripped_devices().len(), 7);
+    assert!(mgr.trace().contains("device LOST"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backoff schedules are deterministic per seed and monotonically
+    /// bounded: the jittered wait always lands in `[nominal/2, nominal)`
+    /// of a non-decreasing, capped nominal curve.
+    #[test]
+    fn backoff_schedules_are_deterministic_and_bounded(
+        seed in any::<u64>(),
+        invocation in any::<u64>(),
+        base_us in 1.0f64..1_000.0,
+        factor in 1.0f64..4.0,
+        cap_mult in 1.0f64..64.0,
+    ) {
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            timeout_us: 1_000.0,
+            base_us,
+            factor,
+            cap_us: base_us * cap_mult,
+        };
+        let mut prev_nominal = 0.0f64;
+        for attempt in 1..=retry.max_attempts {
+            let nominal = retry.nominal_backoff_us(attempt);
+            // Monotone, non-decreasing, capped.
+            prop_assert!(nominal >= prev_nominal);
+            prop_assert!(nominal <= retry.cap_us + 1e-9);
+            prev_nominal = nominal;
+
+            let wait = retry.backoff_us(seed, "node/dev", invocation, attempt);
+            prop_assert!(wait >= 0.5 * nominal - 1e-9, "jitter below floor");
+            prop_assert!(wait < nominal + 1e-9, "jitter above nominal");
+            // Bit-identical replay for the same inputs.
+            prop_assert_eq!(wait, retry.backoff_us(seed, "node/dev", invocation, attempt));
+        }
+    }
+
+    /// Fault outcomes replay bit-identically for the same plan inputs and
+    /// the no-fault profile never injects anything.
+    #[test]
+    fn fault_plans_replay_per_seed(seed in any::<u64>(), invocation in any::<u64>()) {
+        let udp = Some(everest_platform::LinkProfile::UdpDatacenter);
+        let plan = FaultPlan::from_profile("lossy", seed).unwrap();
+        let twin = FaultPlan::from_profile("lossy", seed).unwrap();
+        for attempt in 0..4 {
+            prop_assert_eq!(
+                plan.outcome("rack/cf0", udp, invocation, attempt),
+                twin.outcome("rack/cf0", udp, invocation, attempt)
+            );
+        }
+        let clean = FaultPlan::from_profile("none", seed).unwrap();
+        prop_assert_eq!(clean.outcome("rack/cf0", udp, invocation, 0), None);
+    }
+}

@@ -21,6 +21,12 @@ pub struct RunReport {
     pub finish: Vec<f64>,
     /// Busy time per worker.
     pub worker_busy_us: Vec<f64>,
+    /// Worker indices (into the full pool) that were excluded from this
+    /// run — tripped devices the offload layer took out of rotation.
+    pub excluded_workers: Vec<usize>,
+    /// `true` when the run completed without its full worker pool (some
+    /// workers were excluded), i.e. the system ran in degraded mode.
+    pub degraded: bool,
 }
 
 impl RunReport {
@@ -115,30 +121,65 @@ pub fn simulate(
     workers: &[Worker],
     policy: Policy,
 ) -> WorkflowResult<RunReport> {
-    if workers.is_empty() {
+    let available = vec![true; workers.len()];
+    simulate_available(graph, workers, policy, &available)
+}
+
+/// Simulates executing `graph` on the subset of `workers` marked `true` in
+/// `available`, rescheduling everything off the excluded ones. Task indices
+/// in the report refer to the *full* pool, so callers can correlate a
+/// degraded run with the healthy topology; excluded workers simply end up
+/// with zero busy time and no tasks. This is how the runtime's offload
+/// layer takes a tripped or lost device out of rotation (paper Fig. 2's
+/// adaptation loop) without the scheduler learning about fault plans.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::NoWorkers`] for an empty pool, when
+/// `available` does not cover the pool, or when every worker is excluded.
+pub fn simulate_available(
+    graph: &TaskGraph,
+    workers: &[Worker],
+    policy: Policy,
+    available: &[bool],
+) -> WorkflowResult<RunReport> {
+    if workers.is_empty() || available.len() != workers.len() {
         return Err(WorkflowError::NoWorkers);
     }
+    // Compact the pool to the available workers, keeping a map back to
+    // full-pool indices so the report speaks the caller's language.
+    let keep: Vec<usize> = (0..workers.len()).filter(|w| available[*w]).collect();
+    if keep.is_empty() {
+        return Err(WorkflowError::NoWorkers);
+    }
+    let excluded: Vec<usize> = (0..workers.len()).filter(|w| !available[*w]).collect();
+    let pool: Vec<Worker> = keep.iter().map(|w| workers[*w].clone()).collect();
+
     let mut span = everest_telemetry::span("workflow.simulate", "workflow");
     span.attr("tasks", graph.len());
-    span.attr("workers", workers.len());
+    span.attr("workers", pool.len());
+    span.attr("excluded", excluded.len());
     span.attr("policy", policy);
-    let mut st = AssignState::new(graph.len(), workers.len());
+    let mut st = AssignState::new(graph.len(), pool.len());
     for task in task_order(graph, policy) {
-        let w = st.choose(graph, workers, task, policy);
-        st.place(graph, workers, task, w);
+        let w = st.choose(graph, &pool, task, policy);
+        st.place(graph, &pool, task, w);
     }
     let makespan = st.finish.iter().copied().fold(0.0, f64::max);
     let mut busy = vec![0.0; workers.len()];
-    for (t, w) in st.assignment.iter().enumerate() {
+    let assignment: Vec<usize> = st.assignment.iter().map(|w| keep[*w]).collect();
+    for (t, w) in assignment.iter().enumerate() {
         busy[*w] += st.finish[t] - st.start[t];
     }
     Ok(RunReport {
         policy,
         makespan_us: makespan,
-        assignment: st.assignment,
+        assignment,
         start: st.start,
         finish: st.finish,
         worker_busy_us: busy,
+        degraded: !excluded.is_empty(),
+        excluded_workers: excluded,
     })
 }
 
@@ -228,6 +269,8 @@ mod tests {
             start: vec![],
             finish: vec![],
             worker_busy_us: vec![0.0, 0.0],
+            excluded_workers: vec![],
+            degraded: false,
         };
         let g = TaskGraph::wide(2, 10.0, 0);
         assert_eq!(report.speedup(&g), 1.0);
@@ -244,9 +287,54 @@ mod tests {
             start: vec![],
             finish: vec![],
             worker_busy_us: vec![],
+            excluded_workers: vec![],
+            degraded: false,
         };
         assert_eq!(report.mean_utilization(), 0.0);
         assert!(report.tasks_on(3).is_empty());
+    }
+
+    #[test]
+    fn full_pool_run_is_not_degraded() {
+        let g = TaskGraph::wide(4, 10.0, 0);
+        let run = simulate(&g, &Worker::uniform_pool(2, 1.0), Policy::Fifo).unwrap();
+        assert!(!run.degraded);
+        assert!(run.excluded_workers.is_empty());
+    }
+
+    #[test]
+    fn excluded_workers_get_no_tasks_and_the_run_reports_degraded() {
+        let g = TaskGraph::random(21, 5, 6, 250.0);
+        let workers = Worker::uniform_pool(4, 1.0);
+        let available = [true, false, true, false];
+        let run = simulate_available(&g, &workers, Policy::Heft, &available).unwrap();
+        assert!(run.degraded);
+        assert_eq!(run.excluded_workers, vec![1, 3]);
+        // Assignment indices still refer to the full pool, and excluded
+        // workers stay idle.
+        assert!(run.assignment.iter().all(|w| available[*w]));
+        assert_eq!(run.worker_busy_us.len(), workers.len());
+        assert_eq!(run.worker_busy_us[1], 0.0);
+        assert_eq!(run.worker_busy_us[3], 0.0);
+        assert!(run.tasks_on(1).is_empty());
+        // Losing half the pool cannot speed the schedule up.
+        let healthy = simulate(&g, &workers, Policy::Heft).unwrap();
+        assert!(run.makespan_us >= healthy.makespan_us - 1e-9);
+    }
+
+    #[test]
+    fn excluding_every_worker_is_an_error() {
+        let g = TaskGraph::wide(4, 10.0, 0);
+        let workers = Worker::uniform_pool(2, 1.0);
+        assert_eq!(
+            simulate_available(&g, &workers, Policy::Fifo, &[false, false]).unwrap_err(),
+            WorkflowError::NoWorkers
+        );
+        // A mask that does not cover the pool is rejected too.
+        assert_eq!(
+            simulate_available(&g, &workers, Policy::Fifo, &[true]).unwrap_err(),
+            WorkflowError::NoWorkers
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod scheduler;
 pub mod worker;
 
 pub use error::{WorkflowError, WorkflowResult};
-pub use exec::{simulate, RunReport};
+pub use exec::{simulate, simulate_available, RunReport};
 pub use graph::{TaskGraph, TaskId, TaskSpec};
 pub use scheduler::Policy;
 pub use worker::Worker;

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== accelerating the dispersion kernel with EVEREST HLS ===");
     // The inner loop of the plume solve is a weighted-stencil update; the
     // SDK synthesizes it and reports the accelerator characteristics.
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let acc = sdk.synthesize_kernel(
         "kernel diffuse(c: tensor<128xf64>) -> tensor<128xf64> {
              return stencil(c, [0.05, 0.25, 0.4, 0.25, 0.05]);

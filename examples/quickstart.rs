@@ -11,7 +11,7 @@ use everest::runtime::autotuner::SystemState;
 use everest::Sdk;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
 
     // 1. Describe the kernel in the tensor DSL (paper III-A).
     let source = "

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Compile the kernel with DIFT-hardened variants in the space.
     let sdk = Sdk {
         space: DesignSpace { dift: vec![false, true], ..DesignSpace::small() },
-        ..Sdk::new()
+        ..Sdk::builder().build()
     };
     let compiled =
         sdk.compile("kernel infer(x: tensor<256xf64>) -> tensor<256xf64> { return sigmoid(x); }")?;

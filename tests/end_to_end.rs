@@ -20,7 +20,7 @@ const SRC: &str = "
 
 #[test]
 fn compile_produces_verified_ir_and_variants() {
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let compiled = sdk.compile(SRC).expect("compiles");
     compiled.module.verify().expect("module verifies after passes");
     assert_eq!(compiled.kernels.len(), 3);
@@ -68,7 +68,7 @@ fn transcendental_kernel_acceleration_beats_software_latency() {
     // The paper's performance claim (VI-D): custom function units shine on
     // the AI-style kernels (activations) where CPUs burn many flops per
     // element.
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let compiled = sdk.compile(SRC).unwrap();
     let activate = compiled.kernel("activate").unwrap();
     let hw = best_hw_us(activate);
@@ -80,7 +80,7 @@ fn transcendental_kernel_acceleration_beats_software_latency() {
 fn gemm_acceleration_wins_on_energy() {
     // For dense linear algebra the FPGA's edge is energy (performance per
     // watt), the second half of the paper's VI-D claim.
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let compiled = sdk.compile(SRC).unwrap();
     let gemm = compiled.kernel("gemm").unwrap();
     let best_hw_energy = gemm
@@ -103,7 +103,7 @@ fn gemm_acceleration_wins_on_energy() {
 
 #[test]
 fn deployment_fits_reference_fabric_and_selection_respects_state() {
-    let sdk = Sdk::new();
+    let sdk = Sdk::builder().build();
     let compiled = sdk.compile(SRC).unwrap();
     let deployment = sdk.deploy(&compiled, "cloud-p9").expect("all kernels deploy");
     assert_eq!(deployment.placements.len(), 3);
@@ -123,7 +123,7 @@ fn deployment_fits_reference_fabric_and_selection_respects_state() {
 
 #[test]
 fn adaptation_scenario_with_real_variants() {
-    let sdk = Sdk::small();
+    let sdk = Sdk::builder().space(everest::DesignSpace::small()).build();
     let compiled = sdk.compile(SRC).unwrap();
     let points = compiled.kernel("gemm").unwrap().variants.clone();
     let phases = vec![
@@ -156,7 +156,7 @@ fn adaptation_scenario_with_real_variants() {
 fn variant_metadata_round_trips_to_runtime_via_json() {
     // "Meta-information about the variants will be provided to the runtime
     // system": serialize at compile time, deserialize runtime-side.
-    let sdk = Sdk::small();
+    let sdk = Sdk::builder().space(everest::DesignSpace::small()).build();
     let compiled = sdk.compile(SRC).unwrap();
     let kernel = compiled.kernel("smooth").unwrap();
     let wire: Vec<String> = kernel.variants.iter().map(|v| v.to_json()).collect();

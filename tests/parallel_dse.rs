@@ -46,9 +46,9 @@ fn fingerprint(compiled: &everest::Compiled) -> String {
 #[test]
 fn any_job_count_is_bit_identical_to_the_sequential_reference() {
     let _guard = compile_lock();
-    let reference = fingerprint(&Sdk::new().with_jobs(1).compile(SRC).unwrap());
+    let reference = fingerprint(&Sdk::builder().jobs(1).build().compile(SRC).unwrap());
     for jobs in [2, 3, 8] {
-        let parallel = fingerprint(&Sdk::new().with_jobs(jobs).compile(SRC).unwrap());
+        let parallel = fingerprint(&Sdk::builder().jobs(jobs).build().compile(SRC).unwrap());
         assert_eq!(reference, parallel, "jobs={jobs} diverged from the sequential reference");
     }
 }
@@ -61,7 +61,7 @@ fn memoized_engine_hits_the_synthesis_cache_on_the_default_space() {
     let hits_before = before.counter("dse.hls.cache.hit");
     let misses_before = before.counter("dse.hls.cache.miss");
 
-    Sdk::new().with_jobs(4).compile(SRC).unwrap();
+    Sdk::builder().jobs(4).build().compile(SRC).unwrap();
 
     let after = everest_telemetry::metrics().snapshot();
     let hits = after.counter("dse.hls.cache.hit") - hits_before;
@@ -79,7 +79,7 @@ fn sequential_reference_does_not_touch_the_cache() {
     let before = everest_telemetry::metrics().snapshot();
     let lookups_before = before.counter("dse.hls.cache.hit") + before.counter("dse.hls.cache.miss");
 
-    Sdk::new().with_jobs(1).compile(SRC).unwrap();
+    Sdk::builder().jobs(1).build().compile(SRC).unwrap();
 
     let after = everest_telemetry::metrics().snapshot();
     let lookups = after.counter("dse.hls.cache.hit") + after.counter("dse.hls.cache.miss");
@@ -88,7 +88,7 @@ fn sequential_reference_does_not_touch_the_cache() {
 
 #[test]
 fn empty_knob_dimension_is_rejected_before_enumeration() {
-    let mut sdk = Sdk::new();
+    let mut sdk = Sdk::builder().build();
     sdk.space.banks.clear();
     let err = sdk.compile(SRC).unwrap_err();
     let everest::SdkError::DesignSpace(msg) = err else {

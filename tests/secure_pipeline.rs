@@ -115,7 +115,7 @@ fn dift_hardened_accelerator_available_when_required() {
     use everest::variants::Transform;
     let sdk = everest::Sdk {
         space: DesignSpace { dift: vec![false, true], ..DesignSpace::small() },
-        ..everest::Sdk::new()
+        ..everest::Sdk::builder().build()
     };
     let compiled =
         sdk.compile("kernel f(x: tensor<64xf64>) -> tensor<64xf64> { return relu(x); }").unwrap();
