@@ -5,6 +5,8 @@
 //! everestc variants <kernels.edsl>       print the variant table per kernel
 //! everestc rtl <kernels.edsl> <kernel>   print the synthesized RTL
 //! everestc workflow <pipeline.ewf>       validate + print a workflow
+//! everestc check [--format <f>] <path>.. run the static lints (liveness,
+//!                                        range, taint/IFC, workflow races)
 //! everestc profile <kernels.edsl>        per-phase timing summary table
 //! everestc route [--queries <n>] [--samples <n>]
 //!                                        serve a PTDR routing workload
@@ -28,6 +30,8 @@ const USAGE: &str = "usage:
   everestc [--trace <out.json>] [--jobs <n>] variants <kernels.edsl>
   everestc [--trace <out.json>] [--jobs <n>] rtl <kernels.edsl> <kernel>
   everestc [--trace <out.json>] [--jobs <n>] workflow <pipeline.ewf>
+  everestc [--trace <out.json>] [--jobs <n>] check [--format text|json]
+           <file.edsl|file.eir|file.ewf>...
   everestc [--trace <out.json>] [--jobs <n>] profile <kernels.edsl>
   everestc [--trace <out.json>] [--jobs <n>] route [--queries <n>] [--samples <n>]
   everestc [--trace <out.json>] [--jobs <n>] offload [--seed <n>]
@@ -43,6 +47,9 @@ options:
                        available parallelism, at least 2); 1 runs the
                        sequential reference evaluator, 2+ the pooled,
                        cached engine — results are identical either way
+  --format <f>         diagnostic output format: text (default) or json
+                       (check); exit code is 1 when any error-severity
+                       diagnostic is reported, 0 when clean
   --queries <n>        routing requests in the synthetic workload
                        (route: default 256)
   --samples <n>        Monte-Carlo samples per routing request
@@ -289,6 +296,18 @@ fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error
             );
             Ok(0)
         }
+        ("check", rest) => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let format =
+                extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "text".into());
+            if format != "text" && format != "json" {
+                return Err(format!("--format must be 'text' or 'json', got '{format}'").into());
+            }
+            if rest.is_empty() {
+                return Ok(usage());
+            }
+            run_check(&sdk, &rest, &format)
+        }
         ("profile", [path]) => {
             let source = read(path)?;
             let compiled = sdk.compile(&source)?;
@@ -331,6 +350,38 @@ fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error
         }
         _ => Ok(usage()),
     }
+}
+
+/// `everestc check`: runs every static lint over the given source files —
+/// tensor-DSL kernels (`.edsl`), printed IR modules (`.eir`), and workflow
+/// specs (`.ewf`) — and renders the findings in one diagnostic stream.
+/// Exits 1 when any error-severity diagnostic is reported.
+fn run_check(sdk: &Sdk, paths: &[String], format: &str) -> Result<u8, Box<dyn std::error::Error>> {
+    let mut diags: Vec<everest::Diagnostic> = Vec::new();
+    for path in paths {
+        let source = read(path)?;
+        let mut found = if path.ends_with(".ewf") {
+            sdk.check_workflow(&source)?
+        } else if path.ends_with(".edsl") {
+            sdk.check(&source)?
+        } else {
+            // `.eir` and anything else: printed IR, checked as written —
+            // no canonicalization, so seeded lint fixtures stay seeded.
+            let module = everest::ir::parse_module(&source)?;
+            module.verify()?;
+            everest::ir::check_module(&module)
+        };
+        for d in &mut found {
+            d.file = path.clone();
+        }
+        diags.extend(found);
+    }
+    let (errors, _) = everest::ir::diag::tally(&diags);
+    match format {
+        "json" => print!("{}", everest::ir::render_json(&diags)),
+        _ => print!("{}", everest::ir::render_text(&diags)),
+    }
+    Ok(u8::from(errors > 0))
 }
 
 /// `everestc offload`: runs a batch of synthetic kernel invocations

@@ -37,12 +37,17 @@
 //! ```
 
 pub mod bridge;
+pub mod check;
 pub mod error;
 pub mod sdk;
 
 pub use bridge::task_graph_from_workflow;
+pub use check::{check_workflow_spec, workflow_accesses};
 pub use error::{SdkError, SdkResult};
 pub use sdk::{Compiled, CompiledKernel, Deployment, Sdk, SdkBuilder};
+
+// The shared diagnostic vocabulary of `everestc check`.
+pub use everest_ir::{Diagnostic, Severity};
 
 // Re-export the types users touch on every path through the façade, so
 // `use everest::{Sdk, System, Link}` works without naming the subsystem

@@ -251,6 +251,36 @@ impl Sdk {
         Ok(Compiled { module, kernels })
     }
 
+    /// Statically checks tensor-DSL source: compiles and canonicalizes the
+    /// kernels like [`Sdk::compile`], then runs every IR lint (liveness,
+    /// range, taint/IFC) without generating variants. Returns the
+    /// diagnostics; an empty vector means the source is clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] for DSL or verification failures —
+    /// malformed IR is a hard error, not a diagnostic.
+    pub fn check(&self, source: &str) -> SdkResult<Vec<everest_ir::Diagnostic>> {
+        let mut span = everest_telemetry::span("sdk.check", "sdk");
+        let mut module = compile_kernels(source)?;
+        PassManager::standard().run(&mut module)?;
+        module.verify()?;
+        let diags = everest_ir::lints::check_module(&module);
+        span.attr("diagnostics", diags.len());
+        Ok(diags)
+    }
+
+    /// Statically checks workflow-DSL source: parses the spec and runs the
+    /// dataset race detector over its task graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] when the workflow source is invalid.
+    pub fn check_workflow(&self, source: &str) -> SdkResult<Vec<everest_ir::Diagnostic>> {
+        let spec = everest_dsl::WorkflowSpec::parse(source)?;
+        Ok(crate::check::check_workflow_spec(&spec))
+    }
+
     /// Synthesizes one kernel to an accelerator artifact (RTL + reports)
     /// without variant exploration.
     ///

@@ -52,7 +52,7 @@ pub mod rtl;
 pub mod schedule;
 pub mod tensor_to_loops;
 
-pub use accel::{synthesize, Accelerator, HlsConfig, SynthSummary};
+pub use accel::{synthesize, synthesize_gated, Accelerator, DiftGate, HlsConfig, SynthSummary};
 pub use cache::{synthesize_cached, SynthCache};
 pub use error::{HlsError, HlsResult};
 pub use oplib::{AreaReport, FuKind};

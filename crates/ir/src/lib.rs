@@ -43,10 +43,13 @@
 
 pub mod attr;
 pub mod builder;
+pub mod dataflow;
+pub mod diag;
 pub mod dialects;
 pub mod error;
 pub mod interp;
 pub mod ir;
+pub mod lints;
 pub mod parse;
 pub mod pass;
 pub mod print;
@@ -57,8 +60,11 @@ pub mod verify;
 
 pub use attr::Attr;
 pub use builder::FuncBuilder;
+pub use dataflow::{analyze, analyze_ordered, Analysis, Direction, Interval, Lattice, Site};
+pub use diag::{render_json, render_text, Diagnostic, Severity};
 pub use error::{IrError, IrResult};
 pub use ir::{Block, BlockId, Func, Module, Op, Region, Value};
+pub use lints::{check_func, check_module, taint_summary, CheckPass, TaintSummary};
 pub use parse::parse_module;
 pub use pass::{Pass, PassManager};
 pub use types::Type;

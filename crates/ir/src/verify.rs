@@ -100,31 +100,41 @@ fn verify_block(
         return Err(IrError::Verify(format!("block {} is empty", block.id)));
     }
     for (i, op) in block.ops.iter().enumerate() {
+        // Tag every op-local failure with its exact location, in the same
+        // `^bbN op I` format the dataflow lints report, so verifier and
+        // `everestc check` findings are directly comparable.
+        let ctx = |e: IrError| match e {
+            IrError::Verify(msg) => {
+                IrError::Verify(format!("at {} op {i} ({}): {msg}", block.id, op.name))
+            }
+            other => other,
+        };
         let spec = registry::lookup(&op.name).ok_or_else(|| IrError::UnknownOp(op.name.clone()))?;
-        verify_op_shape(op, spec)?;
+        verify_op_shape(op, spec).map_err(ctx)?;
         let is_last = i + 1 == block.ops.len();
         if spec.terminator && !is_last {
-            return Err(IrError::Verify(format!(
+            return Err(ctx(IrError::Verify(format!(
                 "terminator {} is not last in block {}",
                 op.name, block.id
-            )));
+            ))));
         }
         if is_last && !spec.terminator {
-            return Err(IrError::Verify(format!(
+            return Err(ctx(IrError::Verify(format!(
                 "block {} does not end with a terminator (ends with {})",
                 block.id, op.name
-            )));
+            ))));
         }
         for operand in &op.operands {
             if !defined.contains(operand) {
-                return Err(IrError::Verify(format!(
+                return Err(ctx(IrError::Verify(format!(
                     "operand {operand} of {} used before definition",
                     op.name
-                )));
+                ))));
             }
         }
         // Nested regions see everything defined so far (but their local
         // definitions must not leak back out except through op results).
+        // Their errors carry their own inner location context.
         for region in &op.regions {
             let mut inner = defined.clone();
             for inner_block in &region.blocks {
@@ -132,9 +142,9 @@ fn verify_block(
             }
         }
         for result in &op.results {
-            define(*result, func, defined, all_defs)?;
+            define(*result, func, defined, all_defs).map_err(ctx)?;
         }
-        verify_op_types(func, op)?;
+        verify_op_types(func, op).map_err(ctx)?;
     }
     Ok(())
 }
@@ -462,6 +472,21 @@ mod tests {
         });
         fb.ret(&[out[0]]);
         assert!(verify_func(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_block_and_op_index() {
+        let mut fb = FuncBuilder::new("f", &[Type::F32, Type::F64], &[Type::F32]);
+        let s = fb.binary("arith.addf", fb.arg(0), fb.arg(1), Type::F32);
+        fb.ret(&[s]);
+        let err = verify_func(&fb.finish()).unwrap_err();
+        assert!(err.to_string().contains("at ^bb0 op 0 (arith.addf):"), "{err}");
+        let mut m = Module::new("m");
+        let mut fb = FuncBuilder::new("g", &[], &[Type::F64]);
+        fb.ret(&[]);
+        m.push(fb.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.to_string().contains("in @g: at ^bb0 op 0 (func.return):"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`parallel`] — a real multi-threaded executor that runs closures as
 //!   tasks with dependency-ordered hand-off;
 //! * [`pool`] — a scoped parallel-map over independent items with
-//!   index-stable result order (the DSE engine's fan-out primitive).
+//!   index-stable result order (the DSE engine's fan-out primitive);
+//! * [`race`] — a static detector for read-write/write-write dataset
+//!   conflicts between tasks with no ordering edge.
 //!
 //! ## Example
 //!
@@ -37,11 +39,13 @@ pub mod exec;
 pub mod graph;
 pub mod parallel;
 pub mod pool;
+pub mod race;
 pub mod scheduler;
 pub mod worker;
 
 pub use error::{WorkflowError, WorkflowResult};
 pub use exec::{simulate, simulate_available, RunReport};
 pub use graph::{TaskGraph, TaskId, TaskSpec};
+pub use race::{detect_races, Race, RaceKind, TaskAccess};
 pub use scheduler::Policy;
 pub use worker::Worker;

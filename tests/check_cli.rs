@@ -1,0 +1,102 @@
+//! End-to-end check of `everestc check`: every lint code must report a
+//! true positive on its seeded fixture under `examples/lints/`, the clean
+//! examples must come back empty with exit code 0, and `--format json`
+//! must emit a parseable diagnostics array.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn everestc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_everestc"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples").join(name)
+}
+
+fn check(args: &[&PathBuf], format: Option<&str>) -> (String, i32) {
+    let mut cmd = everestc();
+    cmd.arg("check");
+    if let Some(f) = format {
+        cmd.arg("--format").arg(f);
+    }
+    for a in args {
+        cmd.arg(a);
+    }
+    let out = cmd.output().expect("everestc runs");
+    assert!(
+        out.stderr.is_empty(),
+        "check must not error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (String::from_utf8(out.stdout).expect("utf-8 stdout"), out.status.code().unwrap())
+}
+
+#[test]
+fn every_lint_code_fires_on_its_seeded_fixture() {
+    let fixtures = [
+        example("lints/dead_store.eir"),
+        example("lints/range_oob.eir"),
+        example("lints/taint_flow.eir"),
+        example("lints/race.ewf"),
+    ];
+    let (stdout, code) = check(&fixtures.iter().collect::<Vec<_>>(), None);
+    assert_eq!(code, 1, "error diagnostics must fail the check:\n{stdout}");
+    for lint in ["dead-store", "unused-result", "range-oob", "taint-flow", "wf-race"] {
+        assert!(stdout.contains(&format!("[{lint}]")), "missing lint '{lint}':\n{stdout}");
+    }
+    // Each diagnostic line carries its file, function, and location.
+    assert!(stdout.contains("examples/lints/range_oob.eir: error[range-oob] @overrun"));
+    assert!(stdout.contains("^bb0 op 1 / ^bb1 op 0"), "nested loop site:\n{stdout}");
+    assert!(stdout.contains("check: 3 errors, 2 warnings"), "{stdout}");
+}
+
+#[test]
+fn clean_examples_produce_no_diagnostics() {
+    let clean = [example("kernels.edsl"), example("pipeline.ewf")];
+    let (stdout, code) = check(&clean.iter().collect::<Vec<_>>(), None);
+    assert_eq!(code, 0, "{stdout}");
+    assert_eq!(stdout, "check: 0 errors, 0 warnings\n");
+}
+
+#[test]
+fn json_format_is_a_parseable_diagnostics_array() {
+    let fixtures = [example("lints/taint_flow.eir"), example("lints/race.ewf")];
+    let (stdout, code) = check(&fixtures.iter().collect::<Vec<_>>(), Some("json"));
+    assert_eq!(code, 1);
+    let value: Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let Value::Array(diags) = value else { panic!("diagnostics must be a JSON array") };
+    assert_eq!(diags.len(), 2, "{stdout}");
+    for d in &diags {
+        for field in ["severity", "code", "func", "location", "message", "snippet", "file"] {
+            assert!(d.get(field).is_some(), "diagnostic missing field '{field}': {stdout}");
+        }
+    }
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| match d.get("code") {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(codes, ["taint-flow", "wf-race"]);
+}
+
+#[test]
+fn json_format_on_clean_input_is_an_empty_array() {
+    let clean = [example("pipeline.ewf")];
+    let (stdout, code) = check(&clean.iter().collect::<Vec<_>>(), Some("json"));
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "[]");
+}
+
+#[test]
+fn bad_format_and_missing_paths_are_usage_errors() {
+    let out = everestc().arg("check").arg("--format").arg("xml").arg("x.eir").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"));
+
+    let out = everestc().arg("check").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no paths is a usage error");
+}
