@@ -39,6 +39,7 @@ use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 /// Slowest speed a sampled segment can fall to, km/h (matches the
 /// reference kernel's clamp).
@@ -354,7 +355,7 @@ pub struct CacheKey {
 struct LruCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<CacheKey, (TravelTimeStats, u64)>,
+    map: HashMap<CacheKey, (TravelTimeStats, u64, Instant)>,
 }
 
 impl LruCache {
@@ -362,12 +363,15 @@ impl LruCache {
         LruCache { capacity: capacity.max(1), tick: 0, map: HashMap::new() }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<TravelTimeStats> {
+    /// Returns the cached stats and the entry's insertion stamp (the
+    /// caller derives the age only when it samples — a clock read on
+    /// every hit would tax the warm path).
+    fn get(&mut self, key: &CacheKey) -> Option<(TravelTimeStats, Instant)> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(stats, stamp)| {
+        self.map.get_mut(key).map(|(stats, stamp, inserted)| {
             *stamp = tick;
-            *stats
+            (*stats, *inserted)
         })
     }
 
@@ -375,12 +379,12 @@ impl LruCache {
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(oldest) =
-                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| *k)
+                self.map.iter().min_by_key(|(_, (_, stamp, _))| *stamp).map(|(k, _)| *k)
             {
                 self.map.remove(&oldest);
             }
         }
-        self.map.insert(key, (stats, self.tick));
+        self.map.insert(key, (stats, self.tick, Instant::now()));
     }
 
     fn len(&self) -> usize {
@@ -512,16 +516,34 @@ impl PtdrService {
     }
 
     /// Serves one query through the response cache.
+    ///
+    /// Latency telemetry: misses always observe
+    /// `ptdr.query.latency_us`; hits observe it (plus
+    /// `ptdr.cache.hit_age_us`) sampled one-in-sixteen on the cache
+    /// tick, so the sub-µs warm path pays a couple of nanoseconds
+    /// amortized while the percentile estimates stay representative.
     fn serve_cached(&self, query: &RouteQuery) -> TravelTimeStats {
-        everest_telemetry::metrics().counter_inc("ptdr.queries");
+        let telemetry = everest_telemetry::metrics();
+        telemetry.counter_inc("ptdr.queries");
+        let start = Instant::now();
         let key = self.key(query);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            everest_telemetry::metrics().counter_inc("ptdr.cache.hit");
-            return hit;
+        let (hit, tick) = {
+            let mut cache = self.cache.lock();
+            (cache.get(&key), cache.tick)
+        };
+        if let Some((stats, inserted)) = hit {
+            telemetry.counter_inc("ptdr.cache.hit");
+            if tick % 16 == 0 {
+                telemetry.observe("ptdr.cache.hit_age_us", inserted.elapsed().as_secs_f64() * 1e6);
+                telemetry.observe("ptdr.query.latency_us", start.elapsed().as_secs_f64() * 1e6);
+            }
+            return stats;
         }
-        everest_telemetry::metrics().counter_inc("ptdr.cache.miss");
+        telemetry.counter_inc("ptdr.cache.miss");
+        everest_telemetry::flight().marker("ptdr.cache.miss", 1.0);
         let stats = self.compute(query, &key);
         self.cache.lock().insert(key, stats);
+        telemetry.observe("ptdr.query.latency_us", start.elapsed().as_secs_f64() * 1e6);
         stats
     }
 
@@ -544,8 +566,12 @@ impl PtdrService {
             queries
                 .iter()
                 .map(|query| {
-                    everest_telemetry::metrics().counter_inc("ptdr.queries");
-                    self.compute(query, &self.key(query))
+                    let telemetry = everest_telemetry::metrics();
+                    telemetry.counter_inc("ptdr.queries");
+                    let start = Instant::now();
+                    let out = self.compute(query, &self.key(query));
+                    telemetry.observe("ptdr.query.latency_us", start.elapsed().as_secs_f64() * 1e6);
+                    out
                 })
                 .collect()
         } else {

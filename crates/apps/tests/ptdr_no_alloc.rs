@@ -81,9 +81,13 @@ fn service_cache_hits_allocate_nothing() {
         .collect();
 
     // Warm-up: populate the cache entry and auto-register the telemetry
-    // counters (their first increment allocates the name).
+    // counters and histograms (first use allocates the name and bucket
+    // storage). Hit-path observations are sampled on the cache tick, so
+    // enough warm hits are needed to cross a sampling point.
     service.query(&query);
-    service.query(&query);
+    for _ in 0..32 {
+        service.query(&query);
+    }
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..1_000usize {

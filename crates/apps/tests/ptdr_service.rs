@@ -138,3 +138,30 @@ fn batch_counters_account_for_every_query() {
     assert_eq!(delta("ptdr.cache.miss"), 0);
     assert_eq!(delta("ptdr.cache.hit"), queries.len() as u64);
 }
+
+#[test]
+fn per_query_latency_and_hit_age_are_recorded() {
+    let _guard = counter_lock();
+    let (net, profiles) = setup();
+    let queries = build_queries(&net, &profiles);
+    let service = PtdrService::new(net, profiles).with_jobs(2);
+
+    let before = everest_telemetry::metrics().snapshot();
+    service.route_batch(&queries); // cold: one miss per unique key
+    for _ in 0..4 {
+        service.route_batch(&queries); // warm: sampled hit observations
+    }
+    let after = everest_telemetry::metrics().snapshot();
+
+    let count = |snap: &everest_telemetry::MetricsSnapshot, name: &str| {
+        snap.histogram(name).map_or(0, |h| h.count)
+    };
+    let latency = count(&after, "ptdr.query.latency_us") - count(&before, "ptdr.query.latency_us");
+    // Every miss observes latency; warm hits are sampled one-in-sixteen
+    // on the cache tick, so with 5×24 lookups some samples must land.
+    assert!(latency > 0, "per-query latency histogram populated");
+    let h = after.histogram("ptdr.query.latency_us").unwrap();
+    assert!(h.p99() >= h.p50(), "percentiles are ordered");
+    let age = count(&after, "ptdr.cache.hit_age_us") - count(&before, "ptdr.cache.hit_age_us");
+    assert!(age > 0, "cache hit age histogram populated");
+}

@@ -2,12 +2,17 @@
 //! batch over the reference system at `jobs = 1` (sequential reference),
 //! `2` and `4` (parallel schedule pre-sampling), checks the
 //! retry/fallback traces are bit-identical, sweeps the named fault
-//! profiles for recovery statistics, and writes the results to
-//! `BENCH_offload.json` at the repository root.
+//! profiles for recovery statistics, records per-call latency
+//! percentiles and the schedule/fold phase breakdown from the telemetry
+//! histograms, measures the flight recorder's wall-clock overhead
+//! (E22), and writes the results to `BENCH_offload.json` at the
+//! repository root plus the final metrics snapshot to
+//! `METRICS_offload.json`.
 //!
 //! Run with `cargo bench -p everest-bench --bench offload`.
 
 use everest::{FaultPlan, OffloadCall, OffloadManager, System, TargetClass};
+use everest_telemetry::{MetricsSnapshot, DEFAULT_RING_CAPACITY};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -30,12 +35,34 @@ struct Run {
     jobs: usize,
     wall_ms: f64,
     calls_per_sec: f64,
+    snapshot: MetricsSnapshot,
+}
+
+/// Percentile summary of one latency histogram, `Null` when absent.
+fn hist_stats(snapshot: &MetricsSnapshot, name: &str) -> Value {
+    match snapshot.histogram(name) {
+        Some(h) => Value::Object(vec![
+            ("count".to_owned(), Value::UInt(h.count)),
+            ("mean_us".to_owned(), Value::Float(h.mean())),
+            ("p50_us".to_owned(), Value::Float(h.p50())),
+            ("p95_us".to_owned(), Value::Float(h.p95())),
+            ("p99_us".to_owned(), Value::Float(h.p99())),
+            ("max_us".to_owned(), Value::Float(h.max)),
+        ]),
+        None => Value::Null,
+    }
 }
 
 /// Times the flaky batch at one worker count, returning the best-of-RUNS
-/// wall clock and the (jobs-independent) trace fingerprint.
+/// wall clock, the (jobs-independent) trace fingerprint, and this worker
+/// count's telemetry snapshot (per-call latency and the schedule/fold
+/// phase split accumulated over all RUNS repetitions).
 fn measure(jobs: usize) -> (Run, String) {
     let calls = batch();
+    // A clean registry per worker count: the snapshot explains *this*
+    // jobs setting (e.g. where the jobs=4 fold time goes), not a blur
+    // over the whole sweep.
+    everest_telemetry::metrics().reset();
     let mut best = f64::INFINITY;
     let mut trace = String::new();
     for _ in 0..RUNS {
@@ -50,7 +77,30 @@ fn measure(jobs: usize) -> (Run, String) {
         }
         best = best.min(wall);
     }
-    (Run { jobs, wall_ms: best, calls_per_sec: CALLS as f64 / (best / 1e3) }, trace)
+    let snapshot = everest_telemetry::metrics().snapshot();
+    (Run { jobs, wall_ms: best, calls_per_sec: CALLS as f64 / (best / 1e3), snapshot }, trace)
+}
+
+/// Best-of-RUNS wall clock of the jobs=4 flaky batch with the flight
+/// recorder off versus at the default capacity, for the E22 overhead
+/// bound. Interleaved so clock/cache drift hits both arms equally.
+fn recorder_overhead_walls() -> (f64, f64) {
+    let calls = batch();
+    let one_wall = |capacity: usize| {
+        everest_telemetry::flight().set_capacity(capacity);
+        let mut mgr = manager("flaky");
+        let start = Instant::now();
+        mgr.run_batch(&calls, 4).expect("batch completes");
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for _ in 0..RUNS {
+        off = off.min(one_wall(0));
+        on = on.min(one_wall(DEFAULT_RING_CAPACITY));
+    }
+    everest_telemetry::flight().set_capacity(DEFAULT_RING_CAPACITY);
+    (off, on)
 }
 
 /// Recovery statistics for one named fault profile.
@@ -91,6 +141,15 @@ fn main() {
     let speedup = runs[0].wall_ms / runs[runs.len() - 1].wall_ms;
     println!("speedup jobs=4 vs jobs=1: {speedup:.2}x, traces identical");
 
+    // E22: flight-recorder overhead — the same jobs=4 batch with the
+    // recorder disabled versus recording into the default rings.
+    let (wall_off, wall_on) = recorder_overhead_walls();
+    let recorder_overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+    println!(
+        "flight recorder: off {wall_off:.2} ms, on {wall_on:.2} ms \
+         ({recorder_overhead_pct:+.2}% overhead)"
+    );
+
     let profiles: Vec<Value> = FaultPlan::PROFILES.iter().map(|p| profile_stats(p)).collect();
     for p in FaultPlan::PROFILES {
         let calls = batch();
@@ -120,6 +179,26 @@ fn main() {
                             ("jobs".to_owned(), Value::UInt(r.jobs as u64)),
                             ("wall_ms".to_owned(), Value::Float(r.wall_ms)),
                             ("calls_per_sec".to_owned(), Value::Float(r.calls_per_sec)),
+                            // Simulated per-call latency and retry count
+                            // (deterministic — identical at any jobs).
+                            (
+                                "call_sim_us".to_owned(),
+                                hist_stats(&r.snapshot, "offload.call.sim_us"),
+                            ),
+                            (
+                                "call_attempts".to_owned(),
+                                hist_stats(&r.snapshot, "offload.call.attempts"),
+                            ),
+                            // Wall-clock phase split: parallel schedule
+                            // pre-sampling vs the sequential replay fold.
+                            (
+                                "phase_schedule_us".to_owned(),
+                                hist_stats(&r.snapshot, "offload.phase.schedule_us"),
+                            ),
+                            (
+                                "phase_fold_us".to_owned(),
+                                hist_stats(&r.snapshot, "offload.phase.fold_us"),
+                            ),
                         ])
                     })
                     .collect(),
@@ -128,9 +207,25 @@ fn main() {
         ("profiles".to_owned(), Value::Array(profiles)),
         ("speedup_jobs4_vs_jobs1".to_owned(), Value::Float(speedup)),
         ("traces_identical".to_owned(), Value::Bool(true)),
+        (
+            "recorder_overhead".to_owned(),
+            Value::Object(vec![
+                ("jobs".to_owned(), Value::UInt(4)),
+                ("wall_ms_recorder_off".to_owned(), Value::Float(wall_off)),
+                ("wall_ms_recorder_on".to_owned(), Value::Float(wall_on)),
+                ("overhead_pct".to_owned(), Value::Float(recorder_overhead_pct)),
+            ]),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_offload.json");
     std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
         .expect("writes BENCH_offload.json");
     println!("wrote {path}");
+
+    // The jobs=4 telemetry snapshot, reloadable by `everestc stats`.
+    let snapshot = &runs.last().expect("runs nonempty").snapshot;
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_offload.json");
+    std::fs::write(metrics_path, serde_json::to_string_pretty(snapshot).expect("serializes"))
+        .expect("writes METRICS_offload.json");
+    println!("wrote {metrics_path}");
 }

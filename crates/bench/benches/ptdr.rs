@@ -4,8 +4,11 @@
 //! `jobs = 1` (sequential reference, no cache) versus `jobs = 2`/`4`
 //! (pooled + LRU response cache) on a 256-query workload with 64 unique
 //! (route, departure-bin) keys, asserting every worker count returns
-//! bit-identical statistics, and (c) the warm-cache hit rate. Writes the
-//! trajectory to `BENCH_ptdr.json` at the repository root.
+//! bit-identical statistics, (c) the warm-cache hit rate, (d) per-query
+//! latency percentiles from the telemetry histograms, and (e) the flight
+//! recorder's wall-clock overhead (E22). Writes the trajectory to
+//! `BENCH_ptdr.json` at the repository root plus the warm-pass metrics
+//! snapshot to `METRICS_ptdr.json`.
 //!
 //! Run with `cargo bench -p everest-bench --bench ptdr`.
 
@@ -13,6 +16,7 @@ use everest::apps::traffic::service::{
     ptdr_travel_time_reference, PtdrEngine, PtdrService, RouteQuery,
 };
 use everest::apps::traffic::{generate_fcd, random_od, shortest_route, RoadNetwork, SpeedProfiles};
+use everest_telemetry::{MetricsSnapshot, DEFAULT_RING_CAPACITY};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -30,6 +34,22 @@ struct BatchRun {
     cache_hits: u64,
     cache_misses: u64,
     hit_rate: f64,
+    snapshot: MetricsSnapshot,
+}
+
+/// Percentile summary of one latency histogram, `Null` when absent.
+fn hist_stats(snapshot: &MetricsSnapshot, name: &str) -> Value {
+    match snapshot.histogram(name) {
+        Some(h) => Value::Object(vec![
+            ("count".to_owned(), Value::UInt(h.count)),
+            ("mean_us".to_owned(), Value::Float(h.mean())),
+            ("p50_us".to_owned(), Value::Float(h.p50())),
+            ("p95_us".to_owned(), Value::Float(h.p95())),
+            ("p99_us".to_owned(), Value::Float(h.p99())),
+            ("max_us".to_owned(), Value::Float(h.max)),
+        ]),
+        None => Value::Null,
+    }
 }
 
 /// Bit-exact serialization of a result list, for cross-jobs comparison.
@@ -80,13 +100,15 @@ fn measure_batch(
     jobs: usize,
 ) -> (BatchRun, String, PtdrService) {
     let service = PtdrService::new(network.clone(), profiles.clone()).with_jobs(jobs).with_seed(7);
-    let before = everest_telemetry::metrics().snapshot();
+    // A clean registry per batch: the captured snapshot carries this
+    // run's per-query latency percentiles and nothing else.
+    everest_telemetry::metrics().reset();
     let start = Instant::now();
     let stats = service.route_batch(queries);
     let wall = start.elapsed().as_secs_f64() * 1e3;
     let after = everest_telemetry::metrics().snapshot();
-    let hits = after.counter("ptdr.cache.hit") - before.counter("ptdr.cache.hit");
-    let misses = after.counter("ptdr.cache.miss") - before.counter("ptdr.cache.miss");
+    let hits = after.counter("ptdr.cache.hit");
+    let misses = after.counter("ptdr.cache.miss");
     let lookups = hits + misses;
     let run = BatchRun {
         jobs,
@@ -96,6 +118,7 @@ fn measure_batch(
         cache_hits: hits,
         cache_misses: misses,
         hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        snapshot: after,
     };
     (run, fingerprint(&stats), service)
 }
@@ -166,14 +189,19 @@ fn main() {
     // (c) Warm cache: the same request stream against the jobs=4 service
     // that already answered it.
     let service = warm_service.expect("jobs=4 ran");
-    let before = everest_telemetry::metrics().snapshot();
-    let start = Instant::now();
-    let warm_stats = service.route_batch(&queries);
-    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
-    let after = everest_telemetry::metrics().snapshot();
-    assert_eq!(reference_fp.as_deref(), Some(fingerprint(&warm_stats).as_str()));
-    let warm_hits = after.counter("ptdr.cache.hit") - before.counter("ptdr.cache.hit");
-    let warm_misses = after.counter("ptdr.cache.miss") - before.counter("ptdr.cache.miss");
+    everest_telemetry::metrics().reset();
+    // Best-of-RUNS: a single warm pass is sub-millisecond, so one-shot
+    // timing is all noise. Every repetition is pure hits.
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let warm_stats = service.route_batch(&queries);
+        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(reference_fp.as_deref(), Some(fingerprint(&warm_stats).as_str()));
+    }
+    let warm_snapshot = everest_telemetry::metrics().snapshot();
+    let warm_hits = warm_snapshot.counter("ptdr.cache.hit");
+    let warm_misses = warm_snapshot.counter("ptdr.cache.miss");
     let warm_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
     let warm_qps = queries.len() as f64 / (warm_ms / 1e3);
     println!(
@@ -182,6 +210,26 @@ fn main() {
     );
     println!(
         "single-query speedup {single_speedup:.2}x, batch jobs=4 vs jobs=1 {batch_speedup:.2}x"
+    );
+
+    // E22: flight-recorder overhead — the jobs=4 cold batch with the
+    // recorder disabled versus recording into the default rings.
+    // Interleaved best-of-RUNS so clock/cache drift hits both arms
+    // equally.
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    for _ in 0..RUNS {
+        everest_telemetry::flight().set_capacity(0);
+        let (run, _, _) = measure_batch(&network, &profiles, &queries, 4);
+        wall_off = wall_off.min(run.wall_ms);
+        everest_telemetry::flight().set_capacity(DEFAULT_RING_CAPACITY);
+        let (run, _, _) = measure_batch(&network, &profiles, &queries, 4);
+        wall_on = wall_on.min(run.wall_ms);
+    }
+    let recorder_overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+    println!(
+        "flight recorder: off {wall_off:.2} ms, on {wall_on:.2} ms \
+         ({recorder_overhead_pct:+.2}% overhead)"
     );
 
     let json = Value::Object(vec![
@@ -210,6 +258,13 @@ fn main() {
                             ("cache_hits".to_owned(), Value::UInt(r.cache_hits)),
                             ("cache_misses".to_owned(), Value::UInt(r.cache_misses)),
                             ("hit_rate".to_owned(), Value::Float(r.hit_rate)),
+                            // Per-query serving latency (jobs=1 observes
+                            // every query; pooled runs observe misses
+                            // plus one-in-sixteen sampled hits).
+                            (
+                                "query_latency_us".to_owned(),
+                                hist_stats(&r.snapshot, "ptdr.query.latency_us"),
+                            ),
                         ])
                     })
                     .collect(),
@@ -222,12 +277,32 @@ fn main() {
                 ("wall_ms".to_owned(), Value::Float(warm_ms)),
                 ("queries_per_sec".to_owned(), Value::Float(warm_qps)),
                 ("hit_rate".to_owned(), Value::Float(warm_hit_rate)),
+                (
+                    "query_latency_us".to_owned(),
+                    hist_stats(&warm_snapshot, "ptdr.query.latency_us"),
+                ),
+                ("hit_age_us".to_owned(), hist_stats(&warm_snapshot, "ptdr.cache.hit_age_us")),
             ]),
         ),
         ("outputs_identical".to_owned(), Value::Bool(true)),
+        (
+            "recorder_overhead".to_owned(),
+            Value::Object(vec![
+                ("jobs".to_owned(), Value::UInt(4)),
+                ("wall_ms_recorder_off".to_owned(), Value::Float(wall_off)),
+                ("wall_ms_recorder_on".to_owned(), Value::Float(wall_on)),
+                ("overhead_pct".to_owned(), Value::Float(recorder_overhead_pct)),
+            ]),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ptdr.json");
     std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
         .expect("writes BENCH_ptdr.json");
     println!("wrote {path}");
+
+    // The warm-pass telemetry snapshot, reloadable by `everestc stats`.
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_ptdr.json");
+    std::fs::write(metrics_path, serde_json::to_string_pretty(&warm_snapshot).expect("serializes"))
+        .expect("writes METRICS_ptdr.json");
+    println!("wrote {metrics_path}");
 }

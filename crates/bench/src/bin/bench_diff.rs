@@ -1,0 +1,81 @@
+//! `bench_diff` — the throughput regression gate.
+//!
+//! Compares freshly measured `BENCH_*.json` files against committed
+//! baselines and exits nonzero when any `*_per_sec` leaf drops more than
+//! the threshold (default 10%) below its baseline. Usage:
+//!
+//! ```text
+//! bench_diff [--threshold <pct>] <baseline.json> <fresh.json> \
+//!            [<baseline.json> <fresh.json> ...]
+//! ```
+//!
+//! Files are consumed in baseline/fresh pairs so one invocation can gate
+//! every bench. CI runs this with `continue-on-error` — the gate reports
+//! and annotates rather than blocking merges on machine noise — and
+//! archives the report as an artifact.
+
+use everest_bench::diff::{diff, render, DiffEntry};
+use serde_json::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_diff [--threshold <pct>] <baseline.json> <fresh.json>...";
+const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("'{path}' is not valid JSON: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    if let Some(pos) = args.iter().position(|a| a == "--threshold") {
+        if pos + 1 >= args.len() {
+            return Err("--threshold requires a value".to_owned());
+        }
+        threshold_pct =
+            args[pos + 1].parse::<f64>().ok().filter(|t| *t > 0.0 && *t < 100.0).ok_or_else(
+                || format!("--threshold must be a percentage in (0, 100), got '{}'", args[pos + 1]),
+            )?;
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        return Err(USAGE.to_owned());
+    }
+    let threshold = threshold_pct / 100.0;
+
+    let mut any_regressed = false;
+    for pair in args.chunks(2) {
+        let baseline = load(&pair[0])?;
+        let fresh = load(&pair[1])?;
+        let entries = diff(&baseline, &fresh);
+        let regressed: Vec<&DiffEntry> =
+            entries.iter().filter(|e| e.regressed(threshold)).collect();
+        println!(
+            "== {} vs {} ({} throughput leaves, gate -{threshold_pct}%)",
+            pair[0],
+            pair[1],
+            entries.len()
+        );
+        print!("{}", render(&entries, threshold));
+        if regressed.is_empty() {
+            println!("ok: no leaf dropped more than {threshold_pct}%");
+        } else {
+            any_regressed = true;
+            println!("REGRESSION: {} leaf(s) below the -{threshold_pct}% gate", regressed.len());
+        }
+        println!();
+    }
+    Ok(any_regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //!   the reproduction's own machinery (compilation flow, HLS, crypto,
 //!   Monte-Carlo routing, workflow simulation).
 
+pub mod diff;
 pub mod experiments;
 pub mod table;
 

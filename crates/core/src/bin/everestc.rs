@@ -12,6 +12,8 @@
 //!                                        serve a PTDR routing workload
 //! everestc offload [--seed <n>] [--fault-profile <name>] [--calls <n>]
 //!                                        run a fault-injected offload batch
+//! everestc stats [--format <f>] <snapshot.json>..
+//!                                        merge + render metrics snapshots
 //! ```
 //!
 //! The global `--trace <out.json>` flag records every compiler phase and
@@ -19,10 +21,17 @@
 //! Perfetto. The global `--jobs <n>` flag sets the DSE worker count:
 //! `--jobs 1` runs the sequential reference evaluator, `--jobs 2` and up
 //! the pooled, memoized engine — outputs are identical either way.
+//!
+//! Observability: the global `--metrics <path>` flag writes the final
+//! metrics snapshot of any subcommand — OpenMetrics text when the path
+//! ends in `.prom`/`.txt`/`.om`, JSON otherwise — and `--flight <path>`
+//! dumps the flight recorder's recent-event rings. `everestc stats`
+//! reloads, merges, and re-renders JSON snapshots offline.
 
 use everest::Sdk;
 use everest_telemetry::export::{chrome_trace_json, flame_summary, spans_to_events};
-use everest_telemetry::Tracer;
+use everest_telemetry::openmetrics::{openmetrics_text, render_table};
+use everest_telemetry::{MetricsSnapshot, Tracer};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -36,12 +45,18 @@ const USAGE: &str = "usage:
   everestc [--trace <out.json>] [--jobs <n>] route [--queries <n>] [--samples <n>]
   everestc [--trace <out.json>] [--jobs <n>] offload [--seed <n>]
            [--fault-profile <name>] [--calls <n>]
+  everestc stats [--format table|openmetrics|json] <snapshot.json>...
   everestc help | --help | -h
   everestc --version | -V
 
 options:
   --trace <out.json>   write a Chrome trace-event JSON file covering the
                        compiler phases run by the subcommand
+  --metrics <path>     write the final metrics snapshot of any subcommand:
+                       OpenMetrics text when <path> ends in .prom/.txt/.om,
+                       JSON otherwise (reloadable by `everestc stats`)
+  --flight <path>      write the flight recorder's recent-event rings as
+                       JSON (the always-on post-hoc trace)
   --jobs <n>           worker count for design-space exploration and the
                        PTDR routing service (default: the host's
                        available parallelism, at least 2); 1 runs the
@@ -50,6 +65,7 @@ options:
   --format <f>         diagnostic output format: text (default) or json
                        (check); exit code is 1 when any error-severity
                        diagnostic is reported, 0 when clean
+                       (stats: table (default), openmetrics or json)
   --queries <n>        routing requests in the synthetic workload
                        (route: default 256)
   --samples <n>        Monte-Carlo samples per routing request
@@ -169,6 +185,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = match extract_value_flag(&mut args, "--metrics") {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let flight_path = match extract_value_flag(&mut args, "--flight") {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let jobs = match extract_jobs_flag(&mut args) {
         Ok(jobs) => jobs,
         Err(e) => {
@@ -198,6 +228,11 @@ fn main() -> ExitCode {
         everest_telemetry::install_global(Tracer::recording());
         everest_telemetry::metrics().reset();
     }
+    if metrics_path.is_some() {
+        // A clean registry, so the written snapshot covers exactly this
+        // invocation.
+        everest_telemetry::metrics().reset();
+    }
 
     let result = run(cmd, rest, jobs);
 
@@ -209,6 +244,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("trace: {} spans written to {path}", spans.len());
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = everest_telemetry::metrics().snapshot();
+        let openmetrics =
+            path.ends_with(".prom") || path.ends_with(".txt") || path.ends_with(".om");
+        let body = if openmetrics {
+            openmetrics_text(&snapshot)
+        } else {
+            serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write metrics '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "metrics: {} counters, {} gauges, {} histograms written to {path}",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        );
+    }
+    if let Some(path) = &flight_path {
+        let dump = everest_telemetry::flight().dump("cli");
+        if let Err(e) = std::fs::write(path, dump.to_json()) {
+            eprintln!("error: cannot write flight dump '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "flight: {} events from {} threads ({} overwritten) written to {path}",
+            dump.events.len(),
+            dump.threads,
+            dump.dropped
+        );
     }
 
     match result {
@@ -348,8 +416,57 @@ fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error
             }
             run_offload(&profile, seed, calls, jobs)
         }
+        ("stats", rest) => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let format =
+                extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "table".into());
+            if !["table", "openmetrics", "json"].contains(&format.as_str()) {
+                return Err(format!(
+                    "--format must be 'table', 'openmetrics' or 'json', got '{format}'"
+                )
+                .into());
+            }
+            if rest.is_empty() {
+                return Ok(usage());
+            }
+            run_stats(&rest, &format)
+        }
         _ => Ok(usage()),
     }
+}
+
+/// `everestc stats`: reloads one or more JSON metrics snapshots (as
+/// written by `--metrics <path>.json`), merges them — counters add,
+/// histograms merge bucket-wise, so percentiles stay exact across
+/// shards — and renders the result as a table, OpenMetrics text, or
+/// merged JSON.
+fn run_stats(paths: &[String], format: &str) -> Result<u8, Box<dyn std::error::Error>> {
+    let mut merged: Option<MetricsSnapshot> = None;
+    for path in paths {
+        let source = read(path)?;
+        let snapshot: MetricsSnapshot = serde_json::from_str(&source)
+            .map_err(|e| format!("'{path}' is not a metrics snapshot: {e}"))?;
+        match &mut merged {
+            Some(acc) => acc.merge(&snapshot),
+            None => merged = Some(snapshot),
+        }
+    }
+    let merged = merged.expect("caller checked paths is non-empty");
+    match format {
+        "openmetrics" => print!("{}", openmetrics_text(&merged)),
+        "json" => println!("{}", serde_json::to_string_pretty(&merged)?),
+        _ => {
+            println!(
+                "stats: {} snapshot(s), {} counters, {} gauges, {} histograms",
+                paths.len(),
+                merged.counters.len(),
+                merged.gauges.len(),
+                merged.histograms.len()
+            );
+            print!("{}", render_table(&merged));
+        }
+    }
+    Ok(0)
 }
 
 /// `everestc check`: runs every static lint over the given source files —

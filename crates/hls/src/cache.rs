@@ -115,18 +115,26 @@ impl SynthCache {
     /// Propagates [`crate::HlsError`] from synthesis; failures are not
     /// cached, so a later call retries.
     pub fn get_or_synthesize(&self, func: &Func, config: &HlsConfig) -> HlsResult<SynthSummary> {
+        let start = std::time::Instant::now();
         let key = (func_fingerprint(func), ConfigKey::of(config));
         let slot: Slot = Arc::clone(self.map.lock().entry(key).or_default());
         let mut entry = slot.lock();
         if let Some(summary) = *entry {
-            everest_telemetry::metrics().counter_inc("dse.hls.cache.hit");
+            let telemetry = everest_telemetry::metrics();
+            telemetry.counter_inc("dse.hls.cache.hit");
+            // Hit latency (key hash + two lock hops) vs the synthesis
+            // cost below quantifies what the memo cache is worth.
+            telemetry.observe("dse.hls.cache.hit_us", start.elapsed().as_secs_f64() * 1e6);
             return Ok(summary);
         }
         everest_telemetry::metrics().counter_inc("dse.hls.cache.miss");
+        everest_telemetry::flight().marker("dse.hls.cache.miss", 1.0);
         let mut span = everest_telemetry::span("hls.synthesize", "hls");
         span.attr("kernel", &func.name);
         let summary = synthesize(func, config)?.summary();
         *entry = Some(summary);
+        everest_telemetry::metrics()
+            .observe("dse.hls.cache.miss_synthesis_us", start.elapsed().as_secs_f64() * 1e6);
         Ok(summary)
     }
 }
@@ -223,6 +231,24 @@ mod tests {
         assert!(cache.get_or_synthesize(&f, &bad).is_err());
         assert_eq!(cache.len(), 0);
         assert!(cache.get_or_synthesize(&f, &HlsConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn hit_and_miss_latencies_are_recorded() {
+        let f = kernel("kernel h(x: tensor<16xf64>) -> tensor<16xf64> { return relu(x); }", "h");
+        let cache = SynthCache::new();
+        let before = everest_telemetry::metrics().snapshot();
+        cache.get_or_synthesize(&f, &HlsConfig::default()).unwrap();
+        cache.get_or_synthesize(&f, &HlsConfig::default()).unwrap();
+        let after = everest_telemetry::metrics().snapshot();
+        // The registry is process-global and other tests run in
+        // parallel, so assert growth rather than exact counts.
+        let grew = |name: &str| {
+            after.histogram(name).map_or(0, |h| h.count)
+                > before.histogram(name).map_or(0, |h| h.count)
+        };
+        assert!(grew("dse.hls.cache.miss_synthesis_us"), "miss path timed");
+        assert!(grew("dse.hls.cache.hit_us"), "hit path timed");
     }
 
     #[test]

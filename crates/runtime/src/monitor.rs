@@ -36,16 +36,23 @@ impl RuntimeMonitor {
     /// the data-protection layer.
     pub fn record(&mut self, latency_us: f64, access_alarm: bool, range_alarm: bool) {
         let telemetry = everest_telemetry::metrics();
+        let flight = everest_telemetry::flight();
         telemetry.observe("runtime.latency_us", latency_us);
         let timing_alarm = self.timing.observe(latency_us);
+        // Each alarm also snapshots the flight recorder, so the events
+        // *leading up to* the alarm survive for post-hoc inspection
+        // (everest_telemetry::flight().take_alarm_dump()).
         if timing_alarm {
             telemetry.counter_inc("runtime.alarm.timing");
+            flight.alarm("runtime.alarm.timing", latency_us);
         }
         if access_alarm {
             telemetry.counter_inc("runtime.alarm.access");
+            flight.alarm("runtime.alarm.access", latency_us);
         }
         if range_alarm {
             telemetry.counter_inc("runtime.alarm.range");
+            flight.alarm("runtime.alarm.range", latency_us);
         }
         match self.protect.step(timing_alarm, access_alarm, range_alarm) {
             ProtectAction::None | ProtectAction::Audit => {}
@@ -128,6 +135,21 @@ mod tests {
         }
         m.record(100.0, true, true);
         assert_eq!(m.isolations(), 1);
+    }
+
+    #[test]
+    fn alarms_capture_a_flight_dump() {
+        let mut m = RuntimeMonitor::new(100_000);
+        for _ in 0..20 {
+            m.record(100.0, false, false);
+        }
+        m.record(100.0, true, false);
+        // Other tests in this binary may fire alarms concurrently (the
+        // recorder is process-global), so assert on presence and shape
+        // rather than on the exact alarm name.
+        let dump = everest_telemetry::flight().take_alarm_dump().expect("alarm captured dump");
+        assert!(dump.reason.starts_with("runtime.alarm."));
+        assert!(dump.events.iter().any(|e| e.kind == everest_telemetry::EventKind::Alarm));
     }
 
     #[test]

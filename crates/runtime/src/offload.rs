@@ -802,8 +802,18 @@ impl OffloadManager {
         let task = self.invocations;
         self.invocations += 1;
         let telemetry = everest_telemetry::metrics();
+        let flight = everest_telemetry::flight();
+        let clock_start = self.clock_us;
         let mut attempts_total: u32 = 0;
         let last = self.chain.len() - 1;
+
+        // Causal context: attempt spans opened below nest under this
+        // call span, so a recorded trace links every retry/backoff/
+        // fallback to the call that caused it.
+        let mut call_span = everest_telemetry::span("offload.call", "offload");
+        call_span.attr("task", task);
+        call_span.attr("kernel", &call.kernel);
+        flight.record(everest_telemetry::EventKind::SpanBegin, "offload.call", task as f64);
 
         for idx in 0..self.chain.len() {
             let device = self.chain[idx].device.clone();
@@ -813,6 +823,7 @@ impl OffloadManager {
                     mgr.events.push(OffloadEvent::Fallback { task, from: device.clone(), to });
                     if tried {
                         telemetry.counter_inc("offload.fallbacks");
+                        everest_telemetry::flight().marker("offload.fallback", task as f64);
                     }
                 }
             };
@@ -850,6 +861,11 @@ impl OffloadManager {
             for attempt in 0..self.retry.max_attempts.max(1) {
                 self.events.push(OffloadEvent::Attempt { task, device: device.clone(), attempt });
                 attempts_total += 1;
+                let mut attempt_span = everest_telemetry::span("offload.attempt", "offload");
+                attempt_span.attr("task", task);
+                attempt_span.attr("device", &device);
+                attempt_span.attr("attempt", attempt);
+                flight.marker("offload.attempt", attempt as f64);
                 match schedule.outcomes[idx][attempt as usize] {
                     None => {
                         let latency = transfer_us + compute_us;
@@ -868,6 +884,14 @@ impl OffloadManager {
                             attempts: attempts_total,
                             elapsed_us: self.clock_us,
                         });
+                        let sim_us = self.clock_us - clock_start;
+                        telemetry.observe("offload.call.sim_us", sim_us);
+                        telemetry.observe("offload.call.attempts", f64::from(attempts_total));
+                        flight.record(
+                            everest_telemetry::EventKind::SpanEnd,
+                            "offload.call",
+                            sim_us,
+                        );
                         return Ok(OffloadOutcome {
                             task,
                             device,
@@ -879,6 +903,11 @@ impl OffloadManager {
                     }
                     Some(kind) => {
                         telemetry.counter_inc("offload.faults");
+                        flight.record(
+                            everest_telemetry::EventKind::CounterAdd,
+                            "offload.faults",
+                            1.0,
+                        );
                         self.events.push(OffloadEvent::Fault {
                             task,
                             device: device.clone(),
@@ -898,6 +927,7 @@ impl OffloadManager {
                             self.lost[idx] = true;
                             self.breakers[idx].force_open();
                             telemetry.counter_inc("offload.device_loss");
+                            flight.marker("offload.device_loss", task as f64);
                             self.events
                                 .push(OffloadEvent::DeviceLost { task, device: device.clone() });
                             abandoned = true;
@@ -905,6 +935,7 @@ impl OffloadManager {
                         }
                         if self.breakers[idx].on_failure(self.clock_us) {
                             telemetry.counter_inc("offload.breaker.open");
+                            flight.marker("offload.breaker_open", task as f64);
                             self.events
                                 .push(OffloadEvent::BreakerOpened { task, device: device.clone() });
                             abandoned = true;
@@ -918,6 +949,7 @@ impl OffloadManager {
                         let wait_us = schedule.backoffs[idx][retry_no as usize - 1];
                         self.clock_us += wait_us;
                         telemetry.counter_inc("offload.retries");
+                        flight.marker("offload.backoff_us", wait_us);
                         self.events.push(OffloadEvent::Backoff {
                             task,
                             device: device.clone(),
@@ -930,6 +962,9 @@ impl OffloadManager {
             debug_assert!(abandoned, "loop only exits via success or abandonment");
             fallthrough(self, true);
         }
+        let sim_us = self.clock_us - clock_start;
+        telemetry.observe("offload.call.attempts", f64::from(attempts_total));
+        flight.record(everest_telemetry::EventKind::SpanEnd, "offload.call", sim_us);
         Err(RuntimeError::OffloadFailed { kernel: call.kernel.clone(), attempts: attempts_total })
     }
 
@@ -962,13 +997,30 @@ impl OffloadManager {
         let mut span = everest_telemetry::span("offload.run_batch", "offload");
         span.attr("calls", calls.len());
         span.attr("jobs", jobs);
+        let telemetry = everest_telemetry::metrics();
+        let flight = everest_telemetry::flight();
         let first_task = self.invocations;
+
+        // Phase 1: pure parallel pre-sampling. Wall-clock per phase is
+        // recorded so jobs-scaling anomalies arrive with a breakdown of
+        // which phase moved (see BENCH_offload.json).
+        let t_schedule = std::time::Instant::now();
         let schedules = self.parallel_schedules(calls.len(), first_task, jobs);
-        calls
+        let schedule_us = t_schedule.elapsed().as_secs_f64() * 1e6;
+        telemetry.observe("offload.phase.schedule_us", schedule_us);
+        flight.marker("offload.phase.schedule_us", schedule_us);
+
+        // Phase 2: the sequential fold, in invocation order.
+        let t_fold = std::time::Instant::now();
+        let out = calls
             .iter()
             .zip(&schedules)
             .map(|(call, schedule)| self.execute_scheduled(call, schedule))
-            .collect()
+            .collect();
+        let fold_us = t_fold.elapsed().as_secs_f64() * 1e6;
+        telemetry.observe("offload.phase.fold_us", fold_us);
+        flight.marker("offload.phase.fold_us", fold_us);
+        out
     }
 
     /// Phase 1: samples `count` schedules for tasks starting at

@@ -10,10 +10,14 @@
 //!   span**, so instrumented code costs nearly nothing when tracing is
 //!   off.
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
-//!   fixed-bucket histograms with a serializable [`MetricsSnapshot`].
-//! * [`export`] — exporters: Chrome trace-event JSON (loadable in
-//!   `chrome://tracing` / Perfetto) and a human-readable flame summary
-//!   table.
+//!   HDR-style log-bucketed [`histogram`]s with percentile estimation
+//!   and a serializable, mergeable [`MetricsSnapshot`].
+//! * [`recorder`] — the always-on [`FlightRecorder`]: a bounded ring of
+//!   recent structured events per thread, dumped on demand or when a
+//!   runtime alarm fires. Reach it via [`flight`].
+//! * [`export`] / [`openmetrics`] — exporters: Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` / Perfetto), a human-readable
+//!   flame summary table, and OpenMetrics/Prometheus text.
 //!
 //! Instrumented crates call [`span`] / [`metrics`](fn@metrics)
 //! unconditionally; a front-end (e.g. `everestc --trace`) opts in by
@@ -36,17 +40,23 @@
 //! ```
 
 pub mod export;
+pub mod histogram;
 pub mod metrics;
+pub mod openmetrics;
+pub mod recorder;
 pub mod trace;
 
 pub use export::TraceEvent;
+pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use recorder::{EventKind, FlightDump, FlightEvent, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use trace::{Span, SpanRecord, Tracer};
 
 use parking_lot::RwLock;
 
 static GLOBAL: RwLock<Tracer> = RwLock::new(Tracer::disabled());
 static METRICS: MetricsRegistry = MetricsRegistry::new();
+static FLIGHT: FlightRecorder = FlightRecorder::new();
 
 /// Replaces the global tracer (usually with [`Tracer::recording`]).
 pub fn install_global(tracer: Tracer) {
@@ -73,4 +83,9 @@ pub fn span(name: &str, category: &str) -> Span {
 /// The process-wide metrics registry.
 pub fn metrics() -> &'static MetricsRegistry {
     &METRICS
+}
+
+/// The process-wide flight recorder (always on, bounded overhead).
+pub fn flight() -> &'static FlightRecorder {
+    &FLIGHT
 }

@@ -1,42 +1,20 @@
-//! Named counters, gauges, and fixed-bucket histograms.
+//! Named counters, gauges, and log-bucketed latency histograms.
+//!
+//! Histograms are [`LogHistogram`]s: HDR-style log-linear buckets with
+//! percentile estimation (see [`crate::histogram`]). Snapshots of the
+//! whole registry serialize to stable JSON and merge across invocations
+//! via [`MetricsSnapshot::merge`].
 
+use crate::histogram::LogHistogram;
+pub use crate::histogram::{HistogramBucket, HistogramSnapshot};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-
-/// Default histogram bucket upper bounds (µs-flavoured powers of ten),
-/// used when a value is observed on an unregistered histogram.
-pub const DEFAULT_BUCKETS: [f64; 8] =
-    [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0, 100_000_000.0];
-
-#[derive(Debug, Clone)]
-struct Histogram {
-    /// Upper bounds of the finite buckets, ascending.
-    bounds: Vec<f64>,
-    /// `bounds.len() + 1` counts; the last bucket is the overflow.
-    counts: Vec<u64>,
-    count: u64,
-    sum: f64,
-}
-
-impl Histogram {
-    fn new(bounds: &[f64]) -> Histogram {
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
-    }
-
-    fn observe(&mut self, value: f64) {
-        let slot =
-            self.bounds.iter().position(|&bound| value <= bound).unwrap_or(self.bounds.len());
-        self.counts[slot] += 1;
-        self.count += 1;
-        self.sum += value;
-    }
-}
 
 #[derive(Default)]
 struct Inner {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
-    histograms: Vec<(String, Histogram)>,
+    histograms: Vec<(String, LogHistogram)>,
 }
 
 fn slot<'a, T>(
@@ -53,9 +31,7 @@ fn slot<'a, T>(
 
 /// A thread-safe registry of named metrics.
 ///
-/// All operations auto-register the metric on first use; histograms can
-/// be pre-registered with explicit bucket bounds via
-/// [`MetricsRegistry::register_histogram`].
+/// All operations auto-register the metric on first use.
 pub struct MetricsRegistry {
     inner: Mutex<Inner>,
 }
@@ -87,17 +63,23 @@ impl MetricsRegistry {
         *slot(&mut self.inner.lock().gauges, name, || 0.0) = value;
     }
 
-    /// Registers a histogram with explicit ascending bucket upper
-    /// bounds. Re-registering an existing histogram keeps its data.
-    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
-        slot(&mut self.inner.lock().histograms, name, || Histogram::new(bounds));
+    /// Records `value` into the named histogram.
+    ///
+    /// NaN is rejected (it can no longer poison `sum`/mean) and negative
+    /// values clamp to the zero bucket — see [`LogHistogram::observe`].
+    pub fn observe(&self, name: &str, value: f64) {
+        slot(&mut self.inner.lock().histograms, name, LogHistogram::new).observe(value);
     }
 
-    /// Records `value` into the named histogram
-    /// ([`DEFAULT_BUCKETS`] if it was never registered).
-    pub fn observe(&self, name: &str, value: f64) {
-        slot(&mut self.inner.lock().histograms, name, || Histogram::new(&DEFAULT_BUCKETS))
-            .observe(value);
+    /// Folds a locally-accumulated histogram into the named registry
+    /// histogram under a single lock acquisition. This is the
+    /// low-contention path for per-worker histograms: observe into a
+    /// thread-local [`LogHistogram`], then merge once at the end.
+    pub fn merge_histogram(&self, name: &str, local: &LogHistogram) {
+        if local.count() == 0 {
+            return;
+        }
+        slot(&mut self.inner.lock().histograms, name, LogHistogram::new).merge_from(local);
     }
 
     /// A point-in-time copy of every metric, names sorted.
@@ -113,17 +95,8 @@ impl MetricsRegistry {
             .iter()
             .map(|(name, value)| GaugeSnapshot { name: name.clone(), value: *value })
             .collect();
-        let mut histograms: Vec<HistogramSnapshot> = inner
-            .histograms
-            .iter()
-            .map(|(name, h)| HistogramSnapshot {
-                name: name.clone(),
-                bounds: h.bounds.clone(),
-                counts: h.counts.clone(),
-                count: h.count,
-                sum: h.sum,
-            })
-            .collect();
+        let mut histograms: Vec<HistogramSnapshot> =
+            inner.histograms.iter().map(|(name, h)| h.snapshot(name)).collect();
         counters.sort_by(|a, b| a.name.cmp(&b.name));
         gauges.sort_by(|a, b| a.name.cmp(&b.name));
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
@@ -160,32 +133,6 @@ pub struct GaugeSnapshot {
     pub value: f64,
 }
 
-/// One histogram in a [`MetricsSnapshot`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HistogramSnapshot {
-    /// Metric name.
-    pub name: String,
-    /// Finite bucket upper bounds, ascending.
-    pub bounds: Vec<f64>,
-    /// Per-bucket counts; one longer than `bounds` (overflow bucket).
-    pub counts: Vec<u64>,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of observed values.
-    pub sum: f64,
-}
-
-impl HistogramSnapshot {
-    /// Mean of observed values, 0.0 when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-}
-
 /// Serializable point-in-time copy of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -211,6 +158,33 @@ impl MetricsSnapshot {
     /// The named histogram, if any value was observed.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds another snapshot into this one: counters add, gauges take
+    /// the other's value (last wins), histograms merge bucket-wise.
+    /// Sorted-name order is preserved.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|mine| mine.name == g.name) {
+                Some(mine) => mine.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => mine.merge(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
     }
 }
 
@@ -241,30 +215,52 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_count_correctly() {
+    fn histograms_report_count_sum_and_percentiles() {
         let registry = MetricsRegistry::new();
-        registry.register_histogram("latency", &[10.0, 100.0, 1000.0]);
-        for value in [1.0, 10.0, 11.0, 500.0, 5000.0, 9999.0] {
-            registry.observe("latency", value);
+        for value in 1..=1000 {
+            registry.observe("latency", value as f64);
         }
         let snap = registry.snapshot();
         let h = snap.histogram("latency").unwrap();
-        // <=10: {1, 10}; <=100: {11}; <=1000: {500}; overflow: {5000, 9999}
-        assert_eq!(h.counts, vec![2, 1, 1, 2]);
-        assert_eq!(h.count, 6);
-        assert_eq!(h.sum, 1.0 + 10.0 + 11.0 + 500.0 + 5000.0 + 9999.0);
-        assert!((h.mean() - h.sum / 6.0).abs() < 1e-9);
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.sum, 500_500.0);
+        assert!((h.p50() - 500.0).abs() / 500.0 < 0.02);
+        assert!((h.p99() - 990.0).abs() / 990.0 < 0.02);
+        assert_eq!(h.max, 1000.0);
     }
 
     #[test]
-    fn unregistered_histogram_uses_default_buckets() {
+    fn observe_rejects_nan_and_clamps_negative() {
+        // Regression: a single NaN used to make `sum` (and the mean)
+        // NaN forever; negatives used to drag `sum` down.
         let registry = MetricsRegistry::new();
-        registry.observe("auto", 50.0);
+        registry.observe("h", 10.0);
+        registry.observe("h", f64::NAN);
+        registry.observe("h", -7.0);
+        registry.observe("h", 30.0);
         let snap = registry.snapshot();
-        let h = snap.histogram("auto").unwrap();
-        assert_eq!(h.bounds, DEFAULT_BUCKETS.to_vec());
-        assert_eq!(h.counts.iter().sum::<u64>(), 1);
-        assert_eq!(h.counts[1], 1); // 10 < 50 <= 100
+        let h = snap.histogram("h").unwrap();
+        assert!(!h.sum.is_nan());
+        assert_eq!(h.sum, 40.0);
+        assert_eq!(h.count, 3); // NaN never counted
+        assert_eq!(h.nan_rejected, 1);
+        assert_eq!(h.zeros, 1); // the clamped negative
+        assert!(!h.mean().is_nan());
+    }
+
+    #[test]
+    fn merge_histogram_folds_local_worker_data() {
+        let registry = MetricsRegistry::new();
+        registry.observe("work", 5.0);
+        let mut local = LogHistogram::new();
+        local.observe(7.0);
+        local.observe(9.0);
+        registry.merge_histogram("work", &local);
+        registry.merge_histogram("work", &LogHistogram::new()); // no-op
+        let snap = registry.snapshot();
+        let h = snap.histogram("work").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 21.0);
     }
 
     #[test]
@@ -277,6 +273,33 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshots_merge_across_invocations() {
+        let a = {
+            let r = MetricsRegistry::new();
+            r.counter_add("calls", 2);
+            r.gauge_set("depth", 1.0);
+            r.observe("lat", 10.0);
+            r.snapshot()
+        };
+        let b = {
+            let r = MetricsRegistry::new();
+            r.counter_add("calls", 3);
+            r.counter_inc("faults");
+            r.gauge_set("depth", 4.0);
+            r.observe("lat", 30.0);
+            r.snapshot()
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("calls"), 5);
+        assert_eq!(merged.counter("faults"), 1);
+        assert_eq!(merged.gauge("depth"), Some(4.0));
+        let lat = merged.histogram("lat").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 40.0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! OpenMetrics / Prometheus text exposition for [`MetricsSnapshot`].
+//!
+//! [`openmetrics_text`] renders counters as `<name>_total`, gauges
+//! verbatim, and histograms with the conventional cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`, terminated by
+//! `# EOF`. Metric names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*`
+//! charset (the registry uses dotted names like `offload.latency_us`)
+//! and label values are escaped per the spec.
+
+use crate::histogram::HistogramSnapshot;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Maps a registry metric name onto the OpenMetrics charset: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats an `le` bound: shortest roundtrip decimal (`f64` Display).
+fn format_bound(bound: f64) -> String {
+    format!("{bound}")
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = sanitize_name(&h.name);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    if h.zeros > 0 {
+        cumulative += h.zeros;
+        let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {cumulative}");
+    }
+    for bucket in &h.buckets {
+        cumulative += bucket.count;
+        let (_, upper) = bucket.bounds();
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", format_bound(upper));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders the snapshot in OpenMetrics text format (ends with `# EOF`).
+pub fn openmetrics_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for counter in &snapshot.counters {
+        let name = sanitize_name(&counter.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name}_total {}", counter.value);
+    }
+    for gauge in &snapshot.gauges {
+        let name = sanitize_name(&gauge.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", gauge.value);
+    }
+    for histogram in &snapshot.histograms {
+        write_histogram(&mut out, histogram);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Renders a human-readable table: counters, gauges, then histograms
+/// with count/mean/percentiles. Backs `everestc stats`.
+pub fn render_table(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for c in &snapshot.counters {
+            let _ = writeln!(out, "  {:<40} {}", c.name, c.value);
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for g in &snapshot.gauges {
+            let _ = writeln!(out, "  {:<40} {}", g.name, g.value);
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms: {:<28} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for h in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>9} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("offload.latency_us"), "offload_latency_us");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a:b-c d"), "a:b_c_d");
+    }
+
+    #[test]
+    fn label_escaping_covers_the_spec_triplet() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn text_output_ends_with_eof() {
+        let snap = crate::MetricsRegistry::new().snapshot();
+        assert_eq!(openmetrics_text(&snap), "# EOF\n");
+    }
+}

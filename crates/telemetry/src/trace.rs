@@ -50,7 +50,7 @@ thread_local! {
 
 static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
 
-fn current_tid() -> u32 {
+pub(crate) fn current_tid() -> u32 {
     THREAD_ID.with(|cell| {
         let mut tid = cell.get();
         if tid == 0 {

@@ -1,0 +1,51 @@
+//! Verifies the flight recorder's bounded-overhead contract: once a
+//! thread's ring exists, recording an event performs no heap
+//! allocation. Lives in its own test binary (single test) because it
+//! swaps in a counting global allocator and must not race other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn recording_allocates_nothing_after_ring_warmup() {
+    let flight = everest_telemetry::flight();
+    // First event creates this thread's preallocated ring.
+    flight.marker("warmup", 0.0);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    // More events than the ring holds, so both the fill and the
+    // overwrite paths are exercised.
+    for i in 0..4096 {
+        flight.record(everest_telemetry::EventKind::Observe, "hot.value", i as f64);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "flight recording must not allocate per event");
+
+    // The events really are there (ring capacity's worth).
+    let dump = flight.dump("check");
+    let hot = dump.events.iter().filter(|e| e.name == "hot.value").count();
+    assert_eq!(hot, everest_telemetry::recorder::DEFAULT_RING_CAPACITY);
+}

@@ -1,0 +1,64 @@
+//! Golden test for the OpenMetrics text exposition: exact output,
+//! `_total`/`_bucket`/`_sum`/`_count` conventions, cumulative `le`
+//! bounds, name sanitization, and label escaping.
+
+use everest_telemetry::openmetrics::{escape_label_value, openmetrics_text, sanitize_name};
+use everest_telemetry::MetricsRegistry;
+
+#[test]
+fn openmetrics_text_matches_golden() {
+    let registry = MetricsRegistry::new();
+    registry.counter_add("offload.completed", 8);
+    registry.gauge_set("pool.depth", 2.5);
+    // 1.0 lands in bucket [1, 1.03125); 3.0 in [3, 3.0625); 0.0 in the
+    // zero bucket — all bounds print exactly in decimal.
+    registry.observe("rt.latency_us", 0.0);
+    registry.observe("rt.latency_us", 1.0);
+    registry.observe("rt.latency_us", 3.0);
+
+    let text = openmetrics_text(&registry.snapshot());
+    let golden = "\
+# TYPE offload_completed counter
+offload_completed_total 8
+# TYPE pool_depth gauge
+pool_depth 2.5
+# TYPE rt_latency_us histogram
+rt_latency_us_bucket{le=\"0\"} 1
+rt_latency_us_bucket{le=\"1.03125\"} 2
+rt_latency_us_bucket{le=\"3.0625\"} 3
+rt_latency_us_bucket{le=\"+Inf\"} 3
+rt_latency_us_sum 4
+rt_latency_us_count 3
+# EOF
+";
+    assert_eq!(text, golden);
+}
+
+#[test]
+fn bucket_counts_are_cumulative_and_close_at_count() {
+    let registry = MetricsRegistry::new();
+    for i in 1..=100 {
+        registry.observe("h", i as f64);
+    }
+    let text = openmetrics_text(&registry.snapshot());
+    let mut last = 0u64;
+    let mut inf = None;
+    for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+        let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= last, "bucket counts must be cumulative: {line}");
+        last = count;
+        if line.contains("le=\"+Inf\"") {
+            inf = Some(count);
+        }
+    }
+    assert_eq!(inf, Some(100), "+Inf bucket equals total count");
+    assert!(text.contains("h_count 100"));
+    assert!(text.ends_with("# EOF\n"));
+}
+
+#[test]
+fn names_and_labels_are_made_safe() {
+    assert_eq!(sanitize_name("dse.hls.cache.hit"), "dse_hls_cache_hit");
+    assert_eq!(sanitize_name("2fast"), "_2fast");
+    assert_eq!(escape_label_value("say \"hi\\there\"\n"), "say \\\"hi\\\\there\\\"\\n");
+}

@@ -1,0 +1,114 @@
+//! Concurrent-writer stress tests for the metrics registry and the
+//! flight recorder: N threads × M events, then assert nothing was lost
+//! (below ring capacity) and the snapshots are well-formed.
+
+use everest_telemetry::recorder::DEFAULT_RING_CAPACITY;
+use everest_telemetry::{LogHistogram, MetricsRegistry};
+
+const THREADS: usize = 8;
+const EVENTS: usize = 5_000;
+
+// The two flight-recorder tests share the process-global recorder, so
+// they serialize on this lock and reset around themselves.
+static FLIGHT_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn registry_survives_concurrent_writers_without_losing_updates() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    registry.counter_inc("stress.calls");
+                    registry.counter_add("stress.bytes", 10);
+                    registry.observe("stress.latency_us", (t * EVENTS + i) as f64 + 1.0);
+                    registry.gauge_set("stress.depth", t as f64);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let total = (THREADS * EVENTS) as u64;
+    assert_eq!(snap.counter("stress.calls"), total);
+    assert_eq!(snap.counter("stress.bytes"), total * 10);
+    let h = snap.histogram("stress.latency_us").unwrap();
+    assert_eq!(h.count, total, "no observation lost");
+    // Sum of 1..=THREADS*EVENTS
+    assert_eq!(h.sum, (total * (total + 1) / 2) as f64);
+    assert!(h.buckets.windows(2).all(|w| w[0].index < w[1].index), "buckets sorted unique");
+    assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>() + h.zeros, total);
+    let depth = snap.gauge("stress.depth").unwrap();
+    assert!((0.0..THREADS as f64).contains(&depth), "gauge holds one writer's value");
+}
+
+#[test]
+fn per_worker_histograms_merge_losslessly() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let mut local = LogHistogram::new();
+                for i in 0..EVENTS {
+                    local.observe((t + i) as f64 + 0.5);
+                }
+                registry.merge_histogram("stress.merged", &local);
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let h = snap.histogram("stress.merged").unwrap();
+    assert_eq!(h.count, (THREADS * EVENTS) as u64);
+    assert!(h.p50() > 0.0 && h.p99() >= h.p50());
+}
+
+#[test]
+fn flight_recorder_loses_nothing_below_ring_capacity() {
+    let _guard = FLIGHT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let flight = everest_telemetry::flight();
+    flight.reset();
+    let per_thread = DEFAULT_RING_CAPACITY / 2; // below capacity: lossless
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    everest_telemetry::flight().marker("stress.ev", (t * per_thread + i) as f64);
+                }
+            });
+        }
+    });
+    let dump = flight.dump("stress");
+    let mine: Vec<_> = dump.events.iter().filter(|e| e.name == "stress.ev").collect();
+    assert_eq!(mine.len(), THREADS * per_thread, "no event lost below capacity");
+    assert_eq!(dump.dropped, 0);
+    assert!(mine.windows(2).all(|w| w[0].ts_us <= w[1].ts_us), "dump is time-ordered");
+    // Every payload arrived exactly once.
+    let mut values: Vec<u64> = mine.iter().map(|e| e.value as u64).collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..(THREADS * per_thread) as u64).collect::<Vec<_>>());
+    flight.reset();
+}
+
+#[test]
+fn flight_recorder_overwrite_is_bounded_above_capacity() {
+    let _guard = FLIGHT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let flight = everest_telemetry::flight();
+    flight.reset();
+    let events = DEFAULT_RING_CAPACITY * 3;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..events {
+                everest_telemetry::flight().marker("stress.flood", i as f64);
+            }
+            let dump = everest_telemetry::flight().dump("flood");
+            let mine: Vec<_> = dump.events.iter().filter(|e| e.name == "stress.flood").collect();
+            assert_eq!(mine.len(), DEFAULT_RING_CAPACITY, "memory stays bounded");
+            // The survivors are exactly the newest window, in order.
+            let first = (events - DEFAULT_RING_CAPACITY) as f64;
+            assert_eq!(mine[0].value, first);
+            assert_eq!(mine.last().unwrap().value, (events - 1) as f64);
+        });
+    });
+    flight.reset();
+}

@@ -8,7 +8,9 @@
 //! as [`crate::parallel`].
 
 use crossbeam::channel;
+use everest_telemetry::LogHistogram;
 use parking_lot::Mutex;
+use std::time::Instant;
 
 /// Maps `f` over `items` on up to `jobs` worker threads.
 ///
@@ -19,7 +21,12 @@ use parking_lot::Mutex;
 /// runs inline on the calling thread with no pool setup.
 ///
 /// Each worker opens a telemetry span named `label` (category `pool`)
-/// tagged with its worker index and the number of items it processed.
+/// tagged with its worker index and the number of items it processed,
+/// and records two histograms: `pool.queue_wait_us` (time from batch
+/// start to an item's dequeue) and `pool.task_run_us` (time inside `f`).
+/// Observations accumulate in per-worker [`LogHistogram`]s and merge
+/// into the global registry once per worker, so the hot loop never
+/// touches a shared lock for metrics.
 pub fn parallel_map<T, R, F>(label: &str, jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -32,7 +39,19 @@ where
         let mut span = everest_telemetry::span(label, "pool");
         span.attr("worker", 0);
         span.attr("items", n);
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut run_hist = LogHistogram::new();
+        let out = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let t = Instant::now();
+                let out = f(i, item);
+                run_hist.observe(t.elapsed().as_secs_f64() * 1e6);
+                out
+            })
+            .collect();
+        everest_telemetry::metrics().merge_histogram("pool.task_run_us", &run_hist);
+        return out;
     }
 
     // The whole batch is enqueued up front, so workers drain with
@@ -44,6 +63,7 @@ where
     drop(work_tx);
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let batch_start = Instant::now();
     std::thread::scope(|scope| {
         for worker in 0..jobs {
             let work_rx = work_rx.clone();
@@ -52,12 +72,32 @@ where
             scope.spawn(move || {
                 let mut span = everest_telemetry::span(label, "pool");
                 span.attr("worker", worker);
+                everest_telemetry::flight().record(
+                    everest_telemetry::EventKind::SpanBegin,
+                    "pool.worker",
+                    worker as f64,
+                );
+                let mut wait_hist = LogHistogram::new();
+                let mut run_hist = LogHistogram::new();
                 let mut done = 0usize;
                 while let Some((i, item)) = work_rx.try_recv() {
+                    // One clock read serves both sides: the end of the
+                    // queue wait is the start of the run.
+                    let t = Instant::now();
+                    wait_hist.observe((t - batch_start).as_secs_f64() * 1e6);
                     let out = f(i, item);
+                    run_hist.observe(t.elapsed().as_secs_f64() * 1e6);
                     results.lock()[i] = Some(out);
                     done += 1;
                 }
+                let registry = everest_telemetry::metrics();
+                registry.merge_histogram("pool.queue_wait_us", &wait_hist);
+                registry.merge_histogram("pool.task_run_us", &run_hist);
+                everest_telemetry::flight().record(
+                    everest_telemetry::EventKind::SpanEnd,
+                    "pool.worker",
+                    done as f64,
+                );
                 span.attr("items", done);
             });
         }
@@ -109,6 +149,23 @@ mod tests {
             x
         });
         assert!(PEAK.load(Ordering::SeqCst) >= 2, "workers should overlap");
+    }
+
+    #[test]
+    fn records_queue_wait_and_task_run_histograms() {
+        let before = everest_telemetry::metrics()
+            .snapshot()
+            .histogram("pool.task_run_us")
+            .map_or(0, |h| h.count);
+        parallel_map("test.map", 4, (0..64).collect::<Vec<i32>>(), |_, x| x + 1);
+        let snap = everest_telemetry::metrics().snapshot();
+        let run = snap.histogram("pool.task_run_us").expect("task-run histogram recorded");
+        // Other tests in this binary share the registry, so assert on
+        // growth, not exact totals.
+        assert!(run.count >= before + 64, "one task-run sample per item");
+        let wait = snap.histogram("pool.queue_wait_us").expect("queue-wait histogram recorded");
+        assert!(wait.count > 0);
+        assert!(wait.p99() >= wait.p50());
     }
 
     #[test]

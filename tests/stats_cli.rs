@@ -1,0 +1,191 @@
+//! End-to-end check of the `everestc` metrics pipeline: the global
+//! `--metrics` flag must write a reloadable snapshot (JSON, or
+//! OpenMetrics when the extension says so), `--flight` must dump the
+//! flight recorder's recent events, and `everestc stats` must reload,
+//! merge and render snapshots in every supported format.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn everestc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_everestc"))
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("everestc-stats-{}-{name}", std::process::id()))
+}
+
+/// Runs `route` with `--metrics <path>` and returns the stderr summary.
+fn route_with_metrics(path: &PathBuf, queries: &str) -> String {
+    let out = everestc()
+        .args(["route", "--queries", queries, "--samples", "100", "--jobs", "2"])
+        .arg("--metrics")
+        .arg(path)
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn metrics_flag_writes_reloadable_snapshot_and_stats_renders_it() {
+    let snap = temp_file("route.json");
+    let stderr = route_with_metrics(&snap, "16");
+    assert!(stderr.contains("metrics:"), "missing summary line: {stderr}");
+    assert!(stderr.contains(&format!("written to {}", snap.display())), "{stderr}");
+
+    // The snapshot is plain JSON with counters and histograms from the
+    // instrumented hot paths.
+    let text = std::fs::read_to_string(&snap).expect("snapshot written");
+    let value: Value = serde_json::from_str(&text).expect("snapshot is valid JSON");
+    for field in ["counters", "gauges", "histograms"] {
+        assert!(value.get(field).is_some(), "snapshot missing '{field}'");
+    }
+    assert!(text.contains("ptdr.queries"), "route must count queries: {text}");
+    assert!(text.contains("ptdr.query.latency_us"), "route must time queries");
+
+    // `stats` reloads it and renders the percentile table.
+    let out = everestc().arg("stats").arg(&snap).output().expect("everestc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stats: 1 snapshot(s)"), "missing header: {stdout}");
+    assert!(stdout.contains("ptdr.queries"), "missing counter row: {stdout}");
+    assert!(stdout.contains("ptdr.query.latency_us"), "missing histogram row: {stdout}");
+    for col in ["p50", "p95", "p99"] {
+        assert!(stdout.contains(col), "missing percentile column '{col}': {stdout}");
+    }
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn stats_merges_shards_and_counters_add() {
+    let a = temp_file("shard-a.json");
+    let b = temp_file("shard-b.json");
+    route_with_metrics(&a, "8");
+    route_with_metrics(&b, "12");
+
+    let out = everestc()
+        .args(["stats", "--format", "json"])
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let merged: Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("merged JSON");
+
+    let queries_counter = |v: &Value| -> i64 {
+        let Some(Value::Array(counters)) = v.get("counters") else {
+            panic!("no counters array");
+        };
+        counters
+            .iter()
+            .find(|c| matches!(c.get("name"), Some(Value::Str(s)) if s == "ptdr.queries"))
+            .and_then(|c| match c.get("value") {
+                Some(Value::Int(n)) => Some(*n),
+                Some(Value::UInt(n)) => Some(*n as i64),
+                _ => None,
+            })
+            .expect("ptdr.queries counter present")
+    };
+    // Each route run serves a cold and a warm pass: 2 passes × queries.
+    assert_eq!(queries_counter(&merged), 2 * (8 + 12), "counters must add across shards");
+
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn stats_emits_openmetrics_conventions() {
+    let snap = temp_file("om.json");
+    route_with_metrics(&snap, "8");
+    let out = everestc()
+        .args(["stats", "--format", "openmetrics"])
+        .arg(&snap)
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# TYPE ptdr_queries counter"), "{text}");
+    assert!(text.contains("ptdr_queries_total"), "counters need _total: {text}");
+    assert!(text.contains("# TYPE ptdr_query_latency_us histogram"), "{text}");
+    assert!(text.contains("_bucket{le=\"+Inf\"}"), "histograms need +Inf bucket: {text}");
+    assert!(text.contains("ptdr_query_latency_us_count"), "{text}");
+    assert!(text.ends_with("# EOF\n"), "OpenMetrics must end with # EOF: {text}");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn metrics_extension_selects_openmetrics_directly() {
+    let prom = temp_file("direct.prom");
+    route_with_metrics(&prom, "8");
+    let text = std::fs::read_to_string(&prom).expect("prom file written");
+    assert!(text.contains("ptdr_queries_total"), "{text}");
+    assert!(text.ends_with("# EOF\n"), "{text}");
+    std::fs::remove_file(&prom).ok();
+}
+
+#[test]
+fn flight_flag_dumps_recent_events() {
+    let dump_path = temp_file("flight.json");
+    let out = everestc()
+        .args(["offload", "--calls", "16"])
+        .arg("--flight")
+        .arg(&dump_path)
+        .output()
+        .expect("everestc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("flight:"), "missing flight summary: {stderr}");
+
+    let text = std::fs::read_to_string(&dump_path).expect("flight dump written");
+    let value: Value = serde_json::from_str(&text).expect("dump is valid JSON");
+    assert!(
+        matches!(value.get("reason"), Some(Value::Str(s)) if s == "cli"),
+        "dump reason must be 'cli': {text}"
+    );
+    let Some(Value::Array(events)) = value.get("events") else {
+        panic!("dump must carry an events array: {text}");
+    };
+    assert!(!events.is_empty(), "offload run must record flight events");
+    for event in events {
+        for field in ["ts_us", "tid", "kind", "name"] {
+            assert!(event.get(field).is_some(), "event missing '{field}': {event:?}");
+        }
+    }
+    // The offload runtime's causal chain shows up by name.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.get("name"), Some(Value::Str(s)) if s.starts_with("offload."))),
+        "expected offload.* events in the dump"
+    );
+    std::fs::remove_file(&dump_path).ok();
+}
+
+#[test]
+fn stats_rejects_bad_input() {
+    // No snapshots → usage.
+    let out = everestc().arg("stats").output().expect("everestc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Unknown format → clear error.
+    let snap = temp_file("badfmt.json");
+    std::fs::write(&snap, "{}").unwrap();
+    let out =
+        everestc().args(["stats", "--format", "yaml"]).arg(&snap).output().expect("everestc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"), "format error surfaced");
+
+    // A file that is not a snapshot → named in the error.
+    let bogus = temp_file("bogus.json");
+    std::fs::write(&bogus, "not json").unwrap();
+    let out = everestc().arg("stats").arg(&bogus).output().expect("everestc runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a metrics snapshot"), "unexpected error: {stderr}");
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&bogus).ok();
+}
