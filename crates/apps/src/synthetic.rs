@@ -52,6 +52,11 @@ impl Grid2d {
         &self.data
     }
 
+    /// Mutable access to the raw samples (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Mean of all samples.
     pub fn mean(&self) -> f64 {
         self.data.iter().sum::<f64>() / self.data.len() as f64

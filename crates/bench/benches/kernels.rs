@@ -1,0 +1,137 @@
+//! E23 (kernel arm): SIMD kernel microbenchmarks. Times the vectorized tensor
+//! kernels (`everest_ir::simd`) and the Gaussian-plume grid against
+//! their scalar references, asserting parity inline (bit-identical for
+//! matmul/stencil, 1e-6 for the `exp`-based kernels), and writes the
+//! element throughputs to `BENCH_kernels.json` at the repository root.
+//! The `*_per_sec` leaves feed the `bench_diff` regression gate, so a
+//! vectorization regression (e.g. a refactor that breaks
+//! auto-vectorization) trips CI just like a scheduler slowdown would.
+//!
+//! Run with `cargo bench -p everest-bench --bench kernels`.
+
+use everest_apps::airquality::{reference_site, Meteo, Stability};
+use everest_ir::simd;
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-RUNS timing repetitions per kernel arm.
+const RUNS: usize = 7;
+
+/// Deterministic pseudo-random doubles in [-scale, scale).
+fn noise(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    let mut z = seed;
+    (0..n)
+        .map(|_| {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut w = z;
+            w = (w ^ (w >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            w = (w ^ (w >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            w ^= w >> 31;
+            (w as f64 / u64::MAX as f64 * 2.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+/// Best-of-RUNS elements/second for `work`, which processes `elems`
+/// elements per call and returns a value to keep alive.
+fn throughput<T>(elems: usize, mut work: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        black_box(work());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    elems as f64 / best
+}
+
+fn kernel_entry(name: &str, scalar_per_sec: f64, simd_per_sec: f64) -> Value {
+    println!(
+        "{name:<10} scalar {:>12.3e} elem/s   simd {:>12.3e} elem/s   speedup {:>5.2}x",
+        scalar_per_sec,
+        simd_per_sec,
+        simd_per_sec / scalar_per_sec
+    );
+    Value::Object(vec![
+        ("kernel".to_owned(), Value::Str(name.to_owned())),
+        ("scalar_elems_per_sec".to_owned(), Value::Float(scalar_per_sec)),
+        ("simd_elems_per_sec".to_owned(), Value::Float(simd_per_sec)),
+        ("speedup".to_owned(), Value::Float(simd_per_sec / scalar_per_sec)),
+    ])
+}
+
+fn main() {
+    let mut kernels = Vec::new();
+
+    // Matmul: 96³ — every output element does 96 multiply-adds.
+    {
+        let (m, k, n) = (96, 96, 96);
+        let a = noise(m * k, 11, 2.0);
+        let b = noise(k * n, 13, 2.0);
+        assert_eq!(
+            simd::matmul(&a, &b, m, k, n),
+            simd::matmul_scalar(&a, &b, m, k, n),
+            "matmul parity"
+        );
+        let elems = m * k * n; // fused multiply-add count
+        let scalar = throughput(elems, || simd::matmul_scalar(&a, &b, m, k, n));
+        let fast = throughput(elems, || simd::matmul(&a, &b, m, k, n));
+        kernels.push(kernel_entry("matmul", scalar, fast));
+    }
+
+    // Stencil: 64 rows × 4096, 5-tap.
+    {
+        let (rows, last) = (64, 4096);
+        let weights = [0.1, 0.25, 0.3, 0.25, 0.1];
+        let x = noise(rows * last, 17, 3.0);
+        assert_eq!(
+            simd::stencil_rows(&x, rows, last, &weights),
+            simd::stencil_rows_scalar(&x, rows, last, &weights),
+            "stencil parity"
+        );
+        let elems = rows * last;
+        let scalar = throughput(elems, || simd::stencil_rows_scalar(&x, rows, last, &weights));
+        let fast = throughput(elems, || simd::stencil_rows(&x, rows, last, &weights));
+        kernels.push(kernel_entry("stencil", scalar, fast));
+    }
+
+    // Sigmoid: 256 Ki elements, the exp-bound kernel.
+    {
+        let x = noise(256 * 1024, 19, 20.0);
+        let fast_out = simd::sigmoid(&x);
+        for (f, e) in fast_out.iter().zip(simd::sigmoid_scalar(&x)) {
+            assert!((f - e).abs() < 1e-6, "sigmoid parity");
+        }
+        let scalar = throughput(x.len(), || simd::sigmoid_scalar(&x));
+        let fast = throughput(x.len(), || simd::sigmoid(&x));
+        kernels.push(kernel_entry("sigmoid", scalar, fast));
+    }
+
+    // Gaussian plume: the air-quality use case's 128×128 receptor grid,
+    // two stacks, neutral stability.
+    {
+        let model = reference_site(128);
+        let met = Meteo { wind_ms: 4.0, wind_dir_rad: 0.6, stability: Stability::D };
+        let reference = model.concentration_grid_scalar(&met);
+        let fast_grid = model.concentration_grid(&met);
+        let tol = 1e-6 * (1.0 + reference.max());
+        for (f, e) in fast_grid.as_slice().iter().zip(reference.as_slice()) {
+            assert!((f - e).abs() < tol, "plume parity");
+        }
+        let elems = model.cells * model.cells;
+        let scalar = throughput(elems, || model.concentration_grid_scalar(&met));
+        let fast = throughput(elems, || model.concentration_grid(&met));
+        kernels.push(kernel_entry("plume", scalar, fast));
+    }
+
+    let json = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("kernels".to_owned())),
+        ("experiment".to_owned(), Value::Str("E23".to_owned())),
+        ("runs".to_owned(), Value::UInt(RUNS as u64)),
+        ("kernels".to_owned(), Value::Array(kernels)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
+        .expect("writes BENCH_kernels.json");
+    println!("wrote {path}");
+}

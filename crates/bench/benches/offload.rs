@@ -1,13 +1,18 @@
-//! E20: fault-tolerant network offload. Runs a fault-injected offload
-//! batch over the reference system at `jobs = 1` (sequential reference),
-//! `2` and `4` (parallel schedule pre-sampling), checks the
-//! retry/fallback traces are bit-identical, sweeps the named fault
-//! profiles for recovery statistics, records per-call latency
-//! percentiles and the schedule/fold phase breakdown from the telemetry
-//! histograms, measures the flight recorder's wall-clock overhead
-//! (E22), and writes the results to `BENCH_offload.json` at the
-//! repository root plus the final metrics snapshot to
-//! `METRICS_offload.json`.
+//! E20/E23: fault-tolerant network offload. Runs a fault-injected
+//! offload batch over the reference system at `jobs = 1` (sequential
+//! reference), `2`, `4` and `8` (parallel per-device-lane fold) with
+//! hardware-in-the-loop pacing (each lane's virtual device timeline
+//! replayed at [`PACING_SCALE`]× real time, so the wall clock reflects
+//! overlappable device occupancy rather than host bookkeeping), checks
+//! the retry/fallback traces are bit-identical at every worker count,
+//! characterizes run-to-run noise with an interleaved sweep (every jobs
+//! setting timed once per round, so clock and cache drift hit all
+//! settings equally), sweeps the named fault profiles for recovery
+//! statistics, records per-call latency percentiles and the
+//! partition/fold/merge phase breakdown from the telemetry histograms,
+//! measures the flight recorder's wall-clock overhead (E22), and writes
+//! the results to `BENCH_offload.json` at the repository root plus the
+//! final metrics snapshot to `METRICS_offload.json`.
 //!
 //! Run with `cargo bench -p everest-bench --bench offload`.
 
@@ -17,8 +22,17 @@ use serde_json::Value;
 use std::time::Instant;
 
 const SEED: u64 = 2026;
-const CALLS: usize = 512;
+const CALLS: usize = 8_192;
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+/// Interleaved repetitions per jobs setting — the noise sample.
 const RUNS: usize = 5;
+/// Hardware-in-the-loop pacing: simulated µs per real µs. The batch
+/// replays each lane's virtual device timeline 10× faster than real
+/// time, so the measured wall clock is dominated by (overlappable)
+/// device occupancy rather than host bookkeeping — which is what lane
+/// parallelism buys on a real deployment, and the only thing it *can*
+/// buy on a single-core CI runner.
+const PACING_SCALE: f64 = 10.0;
 
 fn batch() -> Vec<OffloadCall> {
     (0..CALLS)
@@ -31,10 +45,21 @@ fn manager(profile: &str) -> OffloadManager {
     OffloadManager::for_system(&System::everest_reference(), plan).expect("reference system")
 }
 
+/// A manager with device-occupancy pacing, the configuration the
+/// throughput sweep measures.
+fn paced_manager(profile: &str) -> OffloadManager {
+    manager(profile).with_pacing(PACING_SCALE)
+}
+
 struct Run {
     jobs: usize,
+    /// Best-of-RUNS wall clock, the headline number.
     wall_ms: f64,
     calls_per_sec: f64,
+    /// All RUNS interleaved wall clocks, the noise sample.
+    walls_ms: Vec<f64>,
+    /// `(max - min) / min` over the interleaved walls, percent.
+    spread_pct: f64,
     snapshot: MetricsSnapshot,
 }
 
@@ -53,32 +78,59 @@ fn hist_stats(snapshot: &MetricsSnapshot, name: &str) -> Value {
     }
 }
 
-/// Times the flaky batch at one worker count, returning the best-of-RUNS
-/// wall clock, the (jobs-independent) trace fingerprint, and this worker
-/// count's telemetry snapshot (per-call latency and the schedule/fold
-/// phase split accumulated over all RUNS repetitions).
-fn measure(jobs: usize) -> (Run, String) {
+/// One timed batch at `jobs` workers; returns (wall ms, trace).
+fn one_timed_batch(calls: &[OffloadCall], jobs: usize) -> (f64, String) {
+    let mut mgr = paced_manager("flaky");
+    let start = Instant::now();
+    mgr.run_batch(calls, jobs).expect("batch completes");
+    (start.elapsed().as_secs_f64() * 1e3, mgr.trace())
+}
+
+/// Times the flaky batch at every worker count with RUNS interleaved
+/// rounds (round-robin over JOBS inside each round), asserting the
+/// trace is bit-identical across both runs and worker counts. Then runs
+/// a per-jobs telemetry pass against a clean registry so each snapshot
+/// explains *that* jobs setting (per-call latency and the
+/// partition/fold/merge phase split accumulated over RUNS batches).
+fn measure_all() -> Vec<Run> {
     let calls = batch();
-    // A clean registry per worker count: the snapshot explains *this*
-    // jobs setting (e.g. where the jobs=4 fold time goes), not a blur
-    // over the whole sweep.
-    everest_telemetry::metrics().reset();
-    let mut best = f64::INFINITY;
-    let mut trace = String::new();
+    let mut walls: Vec<Vec<f64>> = vec![Vec::new(); JOBS.len()];
+    let mut reference: Option<String> = None;
     for _ in 0..RUNS {
-        let mut mgr = manager("flaky");
-        let start = Instant::now();
-        mgr.run_batch(&calls, jobs).expect("batch completes");
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        if trace.is_empty() {
-            trace = mgr.trace();
-        } else {
-            assert_eq!(trace, mgr.trace(), "jobs={jobs} trace drifted between runs");
+        for (ji, jobs) in JOBS.iter().enumerate() {
+            let (wall, trace) = one_timed_batch(&calls, *jobs);
+            match &reference {
+                None => reference = Some(trace),
+                Some(expected) => {
+                    assert_eq!(expected, &trace, "jobs={jobs} diverged from the reference trace");
+                }
+            }
+            walls[ji].push(wall);
         }
-        best = best.min(wall);
     }
-    let snapshot = everest_telemetry::metrics().snapshot();
-    (Run { jobs, wall_ms: best, calls_per_sec: CALLS as f64 / (best / 1e3), snapshot }, trace)
+    JOBS.iter()
+        .zip(walls)
+        .map(|(jobs, walls_ms)| {
+            // Clean registry per worker count, then RUNS batches so the
+            // phase histograms carry ≈ lanes × RUNS samples each.
+            everest_telemetry::metrics().reset();
+            for _ in 0..RUNS {
+                let mut mgr = paced_manager("flaky");
+                mgr.run_batch(&calls, *jobs).expect("batch completes");
+            }
+            let snapshot = everest_telemetry::metrics().snapshot();
+            let best = walls_ms.iter().copied().fold(f64::INFINITY, f64::min);
+            let worst = walls_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            Run {
+                jobs: *jobs,
+                wall_ms: best,
+                calls_per_sec: CALLS as f64 / (best / 1e3),
+                spread_pct: (worst - best) / best * 100.0,
+                walls_ms,
+                snapshot,
+            }
+        })
+        .collect()
 }
 
 /// Best-of-RUNS wall clock of the jobs=4 flaky batch with the flight
@@ -122,24 +174,18 @@ fn profile_stats(profile: &str) -> Value {
 }
 
 fn main() {
-    let mut runs = Vec::new();
-    let mut reference: Option<String> = None;
-    for jobs in [1usize, 2, 4] {
-        let (run, trace) = measure(jobs);
-        match &reference {
-            None => reference = Some(trace),
-            Some(expected) => {
-                assert_eq!(expected, &trace, "jobs={jobs} diverged from the sequential reference");
-            }
-        }
+    let runs = measure_all();
+    for run in &runs {
         println!(
-            "jobs={:<2} wall={:>8.2} ms  {:>9.0} calls/s",
-            run.jobs, run.wall_ms, run.calls_per_sec
+            "jobs={:<2} wall={:>8.2} ms  {:>9.0} calls/s  spread={:>5.1}%",
+            run.jobs, run.wall_ms, run.calls_per_sec, run.spread_pct
         );
-        runs.push(run);
     }
-    let speedup = runs[0].wall_ms / runs[runs.len() - 1].wall_ms;
+    let wall_at = |jobs: usize| runs.iter().find(|r| r.jobs == jobs).expect("jobs ran").wall_ms;
+    let speedup = wall_at(1) / wall_at(4);
+    let max_spread = runs.iter().map(|r| r.spread_pct).fold(0.0, f64::max);
     println!("speedup jobs=4 vs jobs=1: {speedup:.2}x, traces identical");
+    println!("run-to-run noise: max spread {max_spread:.1}% over {RUNS} interleaved runs");
 
     // E22: flight-recorder overhead — the same jobs=4 batch with the
     // recorder disabled versus recording into the default rings.
@@ -167,7 +213,7 @@ fn main() {
 
     let json = Value::Object(vec![
         ("bench".to_owned(), Value::Str("offload".to_owned())),
-        ("experiment".to_owned(), Value::Str("E20".to_owned())),
+        ("experiment".to_owned(), Value::Str("E20/E23".to_owned())),
         ("seed".to_owned(), Value::UInt(SEED)),
         ("calls".to_owned(), Value::UInt(CALLS as u64)),
         (
@@ -189,20 +235,51 @@ fn main() {
                                 "call_attempts".to_owned(),
                                 hist_stats(&r.snapshot, "offload.call.attempts"),
                             ),
-                            // Wall-clock phase split: parallel schedule
-                            // pre-sampling vs the sequential replay fold.
+                            // Wall-clock phase split: lane partition,
+                            // parallel per-lane fold (one observation per
+                            // lane per batch), in-order merge.
                             (
-                                "phase_schedule_us".to_owned(),
-                                hist_stats(&r.snapshot, "offload.phase.schedule_us"),
+                                "phase_partition_us".to_owned(),
+                                hist_stats(&r.snapshot, "offload.phase.partition_us"),
                             ),
                             (
                                 "phase_fold_us".to_owned(),
                                 hist_stats(&r.snapshot, "offload.phase.fold_us"),
                             ),
+                            (
+                                "phase_merge_us".to_owned(),
+                                hist_stats(&r.snapshot, "offload.phase.merge_us"),
+                            ),
                         ])
                     })
                     .collect(),
             ),
+        ),
+        (
+            "noise".to_owned(),
+            Value::Object(vec![
+                ("interleaved_runs".to_owned(), Value::UInt(RUNS as u64)),
+                (
+                    "per_jobs".to_owned(),
+                    Value::Array(
+                        runs.iter()
+                            .map(|r| {
+                                Value::Object(vec![
+                                    ("jobs".to_owned(), Value::UInt(r.jobs as u64)),
+                                    (
+                                        "walls_ms".to_owned(),
+                                        Value::Array(
+                                            r.walls_ms.iter().map(|w| Value::Float(*w)).collect(),
+                                        ),
+                                    ),
+                                    ("spread_pct".to_owned(), Value::Float(r.spread_pct)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("max_spread_pct".to_owned(), Value::Float(max_spread)),
+            ]),
         ),
         ("profiles".to_owned(), Value::Array(profiles)),
         ("speedup_jobs4_vs_jobs1".to_owned(), Value::Float(speedup)),
@@ -223,7 +300,7 @@ fn main() {
     println!("wrote {path}");
 
     // The jobs=4 telemetry snapshot, reloadable by `everestc stats`.
-    let snapshot = &runs.last().expect("runs nonempty").snapshot;
+    let snapshot = &runs.iter().find(|r| r.jobs == 4).expect("jobs=4 ran").snapshot;
     let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_offload.json");
     std::fs::write(metrics_path, serde_json::to_string_pretty(snapshot).expect("serializes"))
         .expect("writes METRICS_offload.json");

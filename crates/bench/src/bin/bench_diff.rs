@@ -10,9 +10,9 @@
 //! ```
 //!
 //! Files are consumed in baseline/fresh pairs so one invocation can gate
-//! every bench. CI runs this with `continue-on-error` — the gate reports
-//! and annotates rather than blocking merges on machine noise — and
-//! archives the report as an artifact.
+//! every bench. CI runs this as a release-blocking step at
+//! `--threshold 20`, which clears the measured run-to-run noise floor
+//! (see EXPERIMENTS.md E23), and archives the report as an artifact.
 
 use everest_bench::diff::{diff, render, DiffEntry};
 use serde_json::Value;

@@ -5,10 +5,22 @@
 //! operation per cycle), so the resource constraint limits the number of
 //! same-kind ops issued in the same cycle — the standard model for HLS with
 //! pipelined floating-point IP.
+//!
+//! The list scheduler is the inner loop of design-space exploration (one
+//! run per DSE candidate), so its scratch state lives in a reusable
+//! [`ScheduleArena`]: ready queues, in-degree counters, the ALAP
+//! priority table and a calendar-queue finish ring are bump-grown once
+//! and then recycled, and per-cycle issue counts use a fixed
+//! [`FuKind`]-indexed array instead of a hash map. After warm-up,
+//! [`ScheduleArena::list_schedule_into`] performs **zero heap
+//! allocations per candidate** (enforced by a counting-allocator test);
+//! the plain [`list_schedule`] entry point reuses a thread-local arena
+//! and allocates only its output.
 
 use crate::cdfg::Dfg;
 use crate::error::{HlsError, HlsResult};
 use crate::oplib::FuKind;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Available functional-unit instances per kind.
@@ -53,7 +65,7 @@ impl ResourceBudget {
 }
 
 /// A computed schedule: a start cycle per node and the overall makespan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     /// Start cycle of each node (indexed by `NodeId`).
     pub start: Vec<u64>,
@@ -95,98 +107,211 @@ pub fn alap(dfg: &Dfg, deadline: u64) -> Schedule {
     Schedule { start, len: deadline }
 }
 
+/// Reusable scratch for the list scheduler. Buffers grow to the largest
+/// DFG seen and are then recycled: scheduling a candidate no bigger than
+/// a previous one performs no heap allocation (see
+/// `tests/schedule_no_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ScheduleArena {
+    /// ALAP start per node — the list-scheduling priority.
+    late_start: Vec<u64>,
+    /// Scratch finish times for the critical-path forward pass.
+    finish: Vec<u64>,
+    /// Unscheduled-predecessor count per node.
+    remaining_preds: Vec<usize>,
+    /// Nodes ready to issue / deferred to the next pass.
+    ready: Vec<usize>,
+    still_ready: Vec<usize>,
+    /// Calendar-queue finish ring: bucket `c % ring.len()` holds the
+    /// nodes finishing at cycle `c`. Valid because every in-flight
+    /// latency is `< ring.len()`, so cycles never collide in a bucket.
+    ring: Vec<Vec<usize>>,
+    /// Per-cycle issue count and budget, indexed by `FuKind as usize`.
+    issued: [usize; FuKind::ALL.len()],
+    counts: [usize; FuKind::ALL.len()],
+}
+
+impl ScheduleArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> ScheduleArena {
+        ScheduleArena::default()
+    }
+
+    /// Critical path (longest latency chain) via the reused `finish`
+    /// scratch — same result as [`Dfg::critical_path`], no allocation
+    /// after warm-up.
+    fn critical_path(&mut self, dfg: &Dfg) -> u64 {
+        self.finish.clear();
+        self.finish.resize(dfg.len(), 0);
+        let mut longest = 0;
+        for (id, node) in dfg.nodes.iter().enumerate() {
+            let start = node.preds.iter().map(|p| self.finish[*p]).max().unwrap_or(0);
+            self.finish[id] = start + node.latency;
+            longest = longest.max(self.finish[id]);
+        }
+        longest
+    }
+
+    /// ALAP start times against `deadline`, into the reused
+    /// `late_start` buffer (the priority table).
+    fn alap_into(&mut self, dfg: &Dfg, deadline: u64) {
+        self.late_start.clear();
+        self.late_start.resize(dfg.len(), 0);
+        for (id, node) in dfg.nodes.iter().enumerate().rev() {
+            let latest_finish =
+                node.succs.iter().map(|s| self.late_start[*s]).min().unwrap_or(deadline);
+            self.late_start[id] = latest_finish - node.latency;
+        }
+    }
+
+    /// Resource-constrained list scheduling with ALAP-slack priority,
+    /// writing into `out` (its buffer is reused across calls). Produces
+    /// exactly the same schedule as [`list_schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::Schedule`] if some op needs a unit kind whose
+    /// budget is zero.
+    pub fn list_schedule_into(
+        &mut self,
+        out: &mut Schedule,
+        dfg: &Dfg,
+        budget: &ResourceBudget,
+    ) -> HlsResult<()> {
+        for (i, kind) in FuKind::ALL.iter().enumerate() {
+            self.counts[i] = budget.count(*kind);
+        }
+        let mut max_latency = 0u64;
+        for node in &dfg.nodes {
+            if let Some(fu) = node.fu {
+                if self.counts[fu as usize] == 0 {
+                    return Err(HlsError::Schedule(format!(
+                        "op '{}' needs a {fu} unit but the budget has none",
+                        node.name
+                    )));
+                }
+            }
+            max_latency = max_latency.max(node.latency);
+        }
+        out.start.clear();
+        out.len = 0;
+        if dfg.is_empty() {
+            return Ok(());
+        }
+        let cp = self.critical_path(dfg);
+        self.alap_into(dfg, cp);
+
+        let n = dfg.len();
+        out.start.resize(n, u64::MAX);
+        self.remaining_preds.clear();
+        self.remaining_preds.extend(dfg.nodes.iter().map(|nd| nd.preds.len()));
+        self.ready.clear();
+        self.ready.extend((0..n).filter(|i| self.remaining_preds[*i] == 0));
+        self.still_ready.clear();
+        // Ring span must exceed every in-flight latency; buckets keep
+        // their capacity across candidates.
+        let span = max_latency as usize + 1;
+        if self.ring.len() < span {
+            self.ring.resize_with(span, Vec::new);
+        }
+        for bucket in &mut self.ring {
+            bucket.clear();
+        }
+        let span = self.ring.len();
+        let mut scheduled = 0usize;
+        let mut cycle: u64 = 0;
+
+        while scheduled < n {
+            // Release successors of nodes that finished by `cycle`.
+            let bucket = (cycle as usize) % span;
+            // Swap the bucket out through `still_ready` (empty here) so
+            // releases can push to `ready` without aliasing the ring.
+            std::mem::swap(&mut self.ring[bucket], &mut self.still_ready);
+            for di in 0..self.still_ready.len() {
+                let d = self.still_ready[di];
+                for s in &dfg.nodes[d].succs {
+                    self.remaining_preds[*s] -= 1;
+                    if self.remaining_preds[*s] == 0 {
+                        self.ready.push(*s);
+                    }
+                }
+            }
+            self.still_ready.clear();
+            self.issued = [0; FuKind::ALL.len()];
+            // Iterate within the cycle so zero-latency ops (constants)
+            // release their consumers immediately instead of costing a
+            // cycle.
+            loop {
+                // Priority: smaller ALAP start first (less slack = more
+                // urgent). Keys are unique thanks to the id tie-break, so
+                // the unstable (allocation-free) sort is deterministic.
+                let late = &self.late_start;
+                self.ready.sort_unstable_by_key(|i| (late[*i], *i));
+                let mut released_zero_latency = false;
+                for ri in 0..self.ready.len() {
+                    let i = self.ready[ri];
+                    let can_issue = match dfg.nodes[i].fu {
+                        None => true,
+                        Some(fu) => self.issued[fu as usize] < self.counts[fu as usize],
+                    };
+                    if can_issue {
+                        if let Some(fu) = dfg.nodes[i].fu {
+                            self.issued[fu as usize] += 1;
+                        }
+                        out.start[i] = cycle;
+                        let fin = cycle + dfg.nodes[i].latency;
+                        out.len = out.len.max(fin);
+                        if dfg.nodes[i].latency == 0 {
+                            for s in &dfg.nodes[i].succs {
+                                self.remaining_preds[*s] -= 1;
+                                if self.remaining_preds[*s] == 0 {
+                                    self.still_ready.push(*s);
+                                    released_zero_latency = true;
+                                }
+                            }
+                        } else {
+                            self.ring[(fin as usize) % span].push(i);
+                        }
+                        scheduled += 1;
+                    } else {
+                        self.still_ready.push(i);
+                    }
+                }
+                self.ready.clear();
+                std::mem::swap(&mut self.ready, &mut self.still_ready);
+                if !released_zero_latency {
+                    break;
+                }
+            }
+            cycle += 1;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// Per-thread arena behind [`list_schedule`], so DSE pool workers
+    /// each recycle their own scratch with no synchronization.
+    static ARENA: RefCell<ScheduleArena> = RefCell::new(ScheduleArena::new());
+}
+
 /// Resource-constrained list scheduling with ALAP-slack priority.
+///
+/// Scratch state comes from a thread-local [`ScheduleArena`]; only the
+/// returned [`Schedule`] is allocated. Callers scheduling in a tight
+/// loop can hold their own arena and reuse the output buffer via
+/// [`ScheduleArena::list_schedule_into`].
 ///
 /// # Errors
 ///
 /// Returns [`HlsError::Schedule`] if some op needs a unit kind whose budget
 /// is zero.
 pub fn list_schedule(dfg: &Dfg, budget: &ResourceBudget) -> HlsResult<Schedule> {
-    for node in &dfg.nodes {
-        if let Some(fu) = node.fu {
-            if budget.count(fu) == 0 {
-                return Err(HlsError::Schedule(format!(
-                    "op '{}' needs a {fu} unit but the budget has none",
-                    node.name
-                )));
-            }
-        }
-    }
-    if dfg.is_empty() {
-        return Ok(Schedule { start: Vec::new(), len: 0 });
-    }
-    let cp = dfg.critical_path();
-    let late = alap(dfg, cp);
-
-    let n = dfg.len();
-    let mut start = vec![u64::MAX; n];
-    let mut remaining_preds: Vec<usize> = dfg.nodes.iter().map(|nd| nd.preds.len()).collect();
-    let mut ready: Vec<usize> = (0..n).filter(|i| remaining_preds[*i] == 0).collect();
-    let mut scheduled = 0usize;
-    let mut cycle: u64 = 0;
-    // finish_events[c] = nodes finishing at cycle c (releases successors).
-    let mut finish_at: HashMap<u64, Vec<usize>> = HashMap::new();
-    let mut len = 0u64;
-
-    while scheduled < n {
-        // Release successors of nodes that finished by `cycle`.
-        if let Some(done) = finish_at.remove(&cycle) {
-            for d in done {
-                for s in &dfg.nodes[d].succs {
-                    remaining_preds[*s] -= 1;
-                    if remaining_preds[*s] == 0 {
-                        ready.push(*s);
-                    }
-                }
-            }
-        }
-        let mut issued_this_cycle: HashMap<FuKind, usize> = HashMap::new();
-        // Iterate within the cycle so zero-latency ops (constants) release
-        // their consumers immediately instead of costing a cycle.
-        loop {
-            // Priority: smaller ALAP start first (less slack = more urgent).
-            ready.sort_by_key(|i| (late.start[*i], *i));
-            let mut still_ready = Vec::new();
-            let mut released_zero_latency = false;
-            for i in ready.drain(..) {
-                let can_issue = match dfg.nodes[i].fu {
-                    None => true,
-                    Some(fu) => {
-                        let used = issued_this_cycle.get(&fu).copied().unwrap_or(0);
-                        used < budget.count(fu)
-                    }
-                };
-                if can_issue {
-                    if let Some(fu) = dfg.nodes[i].fu {
-                        *issued_this_cycle.entry(fu).or_insert(0) += 1;
-                    }
-                    start[i] = cycle;
-                    let fin = cycle + dfg.nodes[i].latency;
-                    len = len.max(fin);
-                    if dfg.nodes[i].latency == 0 {
-                        for s in &dfg.nodes[i].succs {
-                            remaining_preds[*s] -= 1;
-                            if remaining_preds[*s] == 0 {
-                                still_ready.push(*s);
-                                released_zero_latency = true;
-                            }
-                        }
-                    } else {
-                        finish_at.entry(fin).or_default().push(i);
-                    }
-                    scheduled += 1;
-                } else {
-                    still_ready.push(i);
-                }
-            }
-            ready = still_ready;
-            if !released_zero_latency {
-                break;
-            }
-        }
-        cycle += 1;
-    }
-    Ok(Schedule { start, len })
+    ARENA.with(|arena| {
+        let mut out = Schedule::default();
+        arena.borrow_mut().list_schedule_into(&mut out, dfg, budget)?;
+        Ok(out)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Enforces the HLS scheduler's zero-allocation acceptance criterion:
+//! once a [`ScheduleArena`] has warmed up on the largest candidate, every
+//! further `list_schedule_into` call — same kernel, smaller kernels,
+//! tighter budgets alike — performs no heap allocation. This is what
+//! makes design-space exploration sweeps (thousands of schedule calls
+//! over the same kernels with varying budgets) allocation-free in steady
+//! state. Lives in its own integration-test binary because it swaps in a
+//! counting global allocator (the same technique as
+//! `crates/apps/tests/ptdr_no_alloc.rs`).
+
+use everest_hls::cdfg::Dfg;
+use everest_hls::schedule::{ResourceBudget, Schedule, ScheduleArena};
+use everest_hls::FuKind;
+use everest_ir::{FuncBuilder, Type};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A DFG with `k` independent multiply chains feeding a reduction tree —
+/// wide enough to exercise resource contention and the ready-queue sort.
+fn candidate(k: usize) -> Dfg {
+    let mut fb = FuncBuilder::new("f", &[Type::F64, Type::F64], &[Type::F64]);
+    let mut prods = Vec::new();
+    for _ in 0..k {
+        let m = fb.binary("arith.mulf", fb.arg(0), fb.arg(1), Type::F64);
+        prods.push(fb.binary("arith.mulf", m, fb.arg(1), Type::F64));
+    }
+    let mut acc = prods[0];
+    for p in &prods[1..] {
+        acc = fb.binary("arith.addf", acc, *p, Type::F64);
+    }
+    fb.ret(&[acc]);
+    let f = fb.finish();
+    Dfg::from_block(&f, f.body.entry().unwrap(), &HashMap::new())
+}
+
+#[test]
+fn warm_arena_schedules_allocate_nothing() {
+    let large = candidate(24);
+    let small = candidate(5);
+    let budgets = [
+        ResourceBudget::default(),
+        ResourceBudget::default().with(FuKind::FMul, 1),
+        ResourceBudget::default().with(FuKind::FMul, 2).with(FuKind::FAdd, 1),
+    ];
+    let mut arena = ScheduleArena::new();
+    let mut out = Schedule::default();
+
+    // Warm-up: touch the largest candidate under every budget so all
+    // scratch buffers (priority table, ready queues, finish ring, output
+    // starts) reach their high-water capacity.
+    for budget in &budgets {
+        arena.list_schedule_into(&mut out, &large, budget).unwrap();
+    }
+    let reference: Vec<u64> = out.start.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..50usize {
+        // A DSE-style sweep: alternate candidates and budgets, reusing
+        // both the arena and the output schedule.
+        let dfg = if round % 2 == 0 { &large } else { &small };
+        arena.list_schedule_into(&mut out, dfg, &budgets[round % budgets.len()]).unwrap();
+        std::hint::black_box(out.len);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "warm arena schedules must not allocate");
+
+    // The recycled path still produces the exact same schedule.
+    arena.list_schedule_into(&mut out, &large, &budgets[2]).unwrap();
+    assert_eq!(out.start, reference);
+}
+
+#[test]
+fn arena_path_matches_public_entry_point() {
+    let dfg = candidate(9);
+    let budget = ResourceBudget::default().with(FuKind::FMul, 2);
+    let via_fn = everest_hls::schedule::list_schedule(&dfg, &budget).unwrap();
+    let mut arena = ScheduleArena::new();
+    let mut out = Schedule::default();
+    arena.list_schedule_into(&mut out, &dfg, &budget).unwrap();
+    assert_eq!(out.start, via_fn.start);
+    assert_eq!(out.len, via_fn.len);
+}

@@ -341,16 +341,7 @@ impl<'m> Interp<'m> {
                 let (ashape, adata) = a.as_tensor()?;
                 let (bshape, bdata) = b.as_tensor()?;
                 let (m, k, n) = (ashape[0], ashape[1], bshape[1]);
-                let mut out = vec![0.0; m * n];
-                for i in 0..m {
-                    for j in 0..n {
-                        let mut acc = 0.0;
-                        for kk in 0..k {
-                            acc += adata[i * k + kk] * bdata[kk * n + j];
-                        }
-                        out[i * n + j] = acc;
-                    }
-                }
+                let out = crate::simd::matmul(adata, bdata, m, k, n);
                 Ok(vec![RtValue::tensor(&[m, n], out)])
             }
             "tensor.add" | "tensor.sub" | "tensor.mul" => {
@@ -380,10 +371,7 @@ impl<'m> Interp<'m> {
             "tensor.sigmoid" => {
                 let t = operand(0)?;
                 let (shape, data) = t.as_tensor()?;
-                Ok(vec![RtValue::tensor(
-                    shape,
-                    data.iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect(),
-                )])
+                Ok(vec![RtValue::tensor(shape, crate::simd::sigmoid(data))])
             }
             "tensor.fill" => {
                 let value = op.attr("value").and_then(Attr::as_float).unwrap_or(0.0);
@@ -470,20 +458,9 @@ impl<'m> Interp<'m> {
                     .iter()
                     .filter_map(Attr::as_float)
                     .collect();
-                let radius = weights.len() / 2;
                 let last = *shape.last().ok_or_else(|| IrError::Pass("stencil scalar".into()))?;
                 let rows: usize = shape[..shape.len() - 1].iter().product::<usize>().max(1);
-                let mut out = data.to_vec();
-                for row in 0..rows {
-                    let base = row * last;
-                    for i in radius..last - radius {
-                        let mut acc = 0.0;
-                        for (k, w) in weights.iter().enumerate() {
-                            acc += w * data[base + i + k - radius];
-                        }
-                        out[base + i] = acc;
-                    }
-                }
+                let out = crate::simd::stencil_rows(data, rows, last, &weights);
                 Ok(vec![RtValue::tensor(shape, out)])
             }
             "tensor.conv2d" => {

@@ -54,6 +54,7 @@ pub mod parse;
 pub mod pass;
 pub mod print;
 pub mod registry;
+pub mod simd;
 pub mod transforms;
 pub mod types;
 pub mod verify;

@@ -130,3 +130,47 @@ proptest! {
         prop_assert_eq!(clean.outcome("rack/cf0", udp, invocation, 0), None);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The load-bearing invariant of the lane-partitioned parallel fold:
+    /// for any fault profile, seed, and batch size, `run_batch` at
+    /// jobs ∈ {1, 2, 4, 8} produces byte-identical traces (which embed
+    /// every retry, fallback, breaker transition, and device loss in
+    /// invocation order), identical outcomes, and identical breaker
+    /// state sequences across the device chain.
+    #[test]
+    fn run_batch_is_jobs_invariant_over_random_fault_profiles(
+        profile_idx in 0usize..FaultPlan::PROFILES.len(),
+        seed in any::<u64>(),
+        n_calls in 1usize..48,
+    ) {
+        let profile = FaultPlan::PROFILES[profile_idx];
+        let calls: Vec<OffloadCall> = (0..n_calls).map(call).collect();
+
+        let run = |jobs: usize| {
+            let plan = FaultPlan::from_profile(profile, seed).unwrap();
+            let mut mgr =
+                OffloadManager::for_system(&System::everest_reference(), plan).unwrap();
+            let outcomes = mgr.run_batch(&calls, jobs).unwrap();
+            let breakers: Vec<(String, BreakerState)> = mgr
+                .chain()
+                .iter()
+                .map(|t| {
+                    (t.device.clone(), mgr.breaker(&t.device).map_or(BreakerState::Closed, |b| b.state()))
+                })
+                .collect();
+            (outcomes, mgr.trace(), breakers, mgr.tripped_devices())
+        };
+
+        let reference = run(1);
+        for jobs in [2usize, 4, 8] {
+            let (outcomes, trace, breakers, tripped) = run(jobs);
+            prop_assert_eq!(&outcomes, &reference.0, "outcomes diverge at jobs={}", jobs);
+            prop_assert_eq!(&trace, &reference.1, "trace diverges at jobs={}", jobs);
+            prop_assert_eq!(&breakers, &reference.2, "breakers diverge at jobs={}", jobs);
+            prop_assert_eq!(&tripped, &reference.3, "tripped set diverges at jobs={}", jobs);
+        }
+    }
+}
