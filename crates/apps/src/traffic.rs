@@ -16,6 +16,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BinaryHeap;
 
+pub mod serve;
 pub mod service;
 
 /// Hour bins per day for the speed profiles.

@@ -346,50 +346,146 @@ pub struct CacheKey {
     pub samples: u64,
 }
 
-/// A fixed-capacity least-recently-used map of finished responses.
-/// Lookups and inserts are O(1) amortized on the hash map; eviction
-/// scans for the oldest stamp, which is O(capacity) but only runs when
-/// the cache is full — fine for the few-thousand-entry caches a serving
-/// node keeps.
+/// Sentinel slot index for the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+/// One slab slot of the [`LruCache`]: the entry plus its intrusive
+/// doubly-linked recency list neighbours.
 #[derive(Debug)]
-struct LruCache {
+struct LruSlot {
+    key: CacheKey,
+    stats: TravelTimeStats,
+    inserted: Instant,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map of finished responses:
+/// a hash map from key to slot in a slab threaded with an intrusive
+/// doubly-linked recency list. Lookups, inserts, *and eviction* are
+/// O(1) — the previous stamp-scan eviction was O(capacity) per insert,
+/// which dominated the serving tier's warm path whenever the small
+/// per-shard edge caches churned. Shared with the sharded serving tier
+/// ([`super::serve`]), which keeps one per shard per cache level.
+#[derive(Debug)]
+pub(crate) struct LruCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<CacheKey, (TravelTimeStats, u64, Instant)>,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<LruSlot>,
+    /// Most-recently-used slot, `NIL` when empty.
+    head: usize,
+    /// Least-recently-used slot (the eviction victim), `NIL` when empty.
+    tail: usize,
 }
 
 impl LruCache {
-    fn new(capacity: usize) -> LruCache {
-        LruCache { capacity: capacity.max(1), tick: 0, map: HashMap::new() }
+    pub(crate) fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Detaches `at` from the recency list.
+    fn unlink(&mut self, at: usize) {
+        let (prev, next) = (self.slots[at].prev, self.slots[at].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Attaches `at` at the most-recently-used end.
+    fn link_front(&mut self, at: usize) {
+        self.slots[at].prev = NIL;
+        self.slots[at].next = self.head;
+        match self.head {
+            NIL => self.tail = at,
+            h => self.slots[h].prev = at,
+        }
+        self.head = at;
     }
 
     /// Returns the cached stats and the entry's insertion stamp (the
     /// caller derives the age only when it samples — a clock read on
     /// every hit would tax the warm path).
-    fn get(&mut self, key: &CacheKey) -> Option<(TravelTimeStats, Instant)> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<(TravelTimeStats, Instant)> {
         self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(stats, stamp, inserted)| {
-            *stamp = tick;
-            (*stats, *inserted)
-        })
-    }
-
-    fn insert(&mut self, key: CacheKey, stats: TravelTimeStats) {
-        self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) =
-                self.map.iter().min_by_key(|(_, (_, stamp, _))| *stamp).map(|(k, _)| *k)
-            {
-                self.map.remove(&oldest);
-            }
+        let at = *self.map.get(key)?;
+        if self.head != at {
+            self.unlink(at);
+            self.link_front(at);
         }
-        self.map.insert(key, (stats, self.tick, Instant::now()));
+        Some((self.slots[at].stats, self.slots[at].inserted))
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn insert(&mut self, key: CacheKey, stats: TravelTimeStats) {
+        self.tick += 1;
+        if let Some(&at) = self.map.get(&key) {
+            self.slots[at].stats = stats;
+            self.slots[at].inserted = Instant::now();
+            if self.head != at {
+                self.unlink(at);
+                self.link_front(at);
+            }
+            return;
+        }
+        let at = if self.slots.len() < self.capacity {
+            self.slots.push(LruSlot { key, stats, inserted: Instant::now(), prev: NIL, next: NIL });
+            self.slots.len() - 1
+        } else {
+            // Full: reuse the least-recently-used slot in place.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim] =
+                LruSlot { key, stats, inserted: Instant::now(), prev: NIL, next: NIL };
+            victim
+        };
+        self.map.insert(key, at);
+        self.link_front(at);
+    }
+
+    pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
+}
+
+/// The cache identity of a query: structural route hash, quantized
+/// departure bin, sample count. Two queries with equal keys receive
+/// bit-identical answers — the per-query seed is a pure function of
+/// the key (see [`derive_seed`]).
+pub fn cache_key(route: &[usize], depart_hour: f64, samples: usize) -> CacheKey {
+    let mut hasher = DefaultHasher::new();
+    route.hash(&mut hasher);
+    let bin = (depart_hour * DEPARTURE_BINS_PER_HOUR as f64).floor();
+    let bin = if bin.is_finite() && bin >= 0.0 { bin as usize % DEPARTURE_BINS } else { 0 };
+    CacheKey { route_hash: hasher.finish(), departure_bin: bin as u32, samples: samples as u64 }
+}
+
+/// Deterministic per-query seed: a function of the cache key and the
+/// serving seed only, so any two queries with the same key — and any
+/// worker or shard interleaving — produce bit-identical statistics.
+pub fn derive_seed(base_seed: u64, key: &CacheKey) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    base_seed.hash(&mut hasher);
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The canonical departure hour of a key's bin (its center) — the hour
+/// every query in the bin is actually estimated at.
+pub fn bin_center_hour(key: &CacheKey) -> f64 {
+    (key.departure_bin as f64 + 0.5) / DEPARTURE_BINS_PER_HOUR as f64
 }
 
 // ---------------------------------------------------------------------------
@@ -473,32 +569,9 @@ impl PtdrService {
         self.cache.lock().len()
     }
 
-    /// The cache identity of `query`.
+    /// The cache identity of `query` (see [`cache_key`]).
     pub fn key(&self, query: &RouteQuery) -> CacheKey {
-        let mut hasher = DefaultHasher::new();
-        query.route.hash(&mut hasher);
-        let bin = (query.depart_hour * DEPARTURE_BINS_PER_HOUR as f64).floor();
-        let bin = if bin.is_finite() && bin >= 0.0 { bin as usize % DEPARTURE_BINS } else { 0 };
-        CacheKey {
-            route_hash: hasher.finish(),
-            departure_bin: bin as u32,
-            samples: query.samples as u64,
-        }
-    }
-
-    /// Deterministic per-query seed: a function of the cache key and the
-    /// service seed only, so any two queries with the same key — and any
-    /// worker interleaving — produce bit-identical statistics.
-    fn query_seed(&self, key: &CacheKey) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        self.seed.hash(&mut hasher);
-        key.hash(&mut hasher);
-        hasher.finish()
-    }
-
-    /// The canonical departure hour of a bin (its center).
-    fn bin_center_hour(key: &CacheKey) -> f64 {
-        (key.departure_bin as f64 + 0.5) / DEPARTURE_BINS_PER_HOUR as f64
+        cache_key(&query.route, query.depart_hour, query.samples)
     }
 
     /// Computes a query on this thread's engine, bypassing the cache.
@@ -508,9 +581,9 @@ impl PtdrService {
                 &self.network,
                 &self.profiles,
                 &query.route,
-                Self::bin_center_hour(key),
+                bin_center_hour(key),
                 query.samples,
-                self.query_seed(key),
+                derive_seed(self.seed, key),
             )
         })
     }
@@ -662,6 +735,72 @@ mod tests {
         assert_eq!(lru.len(), 2);
         assert!(lru.get(&key(2)).is_none(), "key 2 must have been evicted");
         assert!(lru.get(&key(1)).is_some() && lru.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn lru_cache_holds_exactly_capacity_entries() {
+        let mut lru = LruCache::new(3);
+        let stats = TravelTimeStats { mean_h: 1.0, p95_h: 2.0, std_h: 0.1 };
+        let key = |n: u64| CacheKey { route_hash: n, departure_bin: 0, samples: 100 };
+        for n in 1..=3 {
+            lru.insert(key(n), stats);
+        }
+        assert_eq!(lru.len(), 3, "filling to capacity must not evict");
+        assert!(lru.get(&key(1)).is_some() && lru.get(&key(2)).is_some());
+        // Re-inserting a resident key at full capacity updates in place.
+        let updated = TravelTimeStats { mean_h: 9.0, p95_h: 9.5, std_h: 0.2 };
+        lru.insert(key(3), updated);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&key(3)).unwrap().0, updated);
+        assert!(lru.get(&key(1)).is_some() && lru.get(&key(2)).is_some());
+        // One past capacity evicts exactly one entry.
+        lru.insert(key(4), stats);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn lru_cache_evicts_in_full_recency_order() {
+        let mut lru = LruCache::new(3);
+        let stats = TravelTimeStats { mean_h: 1.0, p95_h: 2.0, std_h: 0.1 };
+        let key = |n: u64| CacheKey { route_hash: n, departure_bin: 0, samples: 100 };
+        for n in 1..=3 {
+            lru.insert(key(n), stats);
+        }
+        // Touch order 2, 3, 1 — so evictions must come out 2, 3, 1.
+        lru.get(&key(2));
+        lru.get(&key(3));
+        lru.get(&key(1));
+        lru.insert(key(4), stats);
+        assert!(lru.get(&key(2)).is_none(), "2 was least recent");
+        lru.insert(key(5), stats);
+        assert!(lru.get(&key(3)).is_none(), "3 was next");
+        // The failed gets above touch nothing, so 1 (refreshed last
+        // among the originals, but before 4 and 5 landed) goes next.
+        lru.insert(key(6), stats);
+        assert!(lru.get(&key(1)).is_none(), "1 evicts after 3");
+        assert_eq!(lru.len(), 3);
+        for survivor in [4u64, 5, 6] {
+            assert!(lru.get(&key(survivor)).is_some(), "key {survivor} must survive");
+        }
+    }
+
+    #[test]
+    fn service_cache_len_respects_capacity_after_eviction() {
+        let (net, profiles) = setup();
+        let service = PtdrService::new(net, profiles).with_cache_capacity(2);
+        let route = vec![0usize, 1, 2];
+        let q = |h: f64| RouteQuery { route: route.clone(), depart_hour: h, samples: 64 };
+        // Three distinct departure bins = three distinct cache keys.
+        let first = service.query(&q(6.0));
+        service.query(&q(12.0));
+        assert_eq!(service.cache_len(), 2, "two keys fill the cache");
+        service.query(&q(18.0));
+        assert_eq!(service.cache_len(), 2, "eviction must hold the boundary");
+        // Repeats never grow the cache, and the evicted key recomputes
+        // to the same bit-identical answer (seed derives from the key).
+        assert_eq!(service.query(&q(18.0)), service.query(&q(18.0)));
+        assert_eq!(service.cache_len(), 2);
+        assert_eq!(service.query(&q(6.0)), first, "recomputed answer must match the original");
     }
 
     #[test]

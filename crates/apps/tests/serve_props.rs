@@ -1,0 +1,103 @@
+//! Property tests for the sharded PTDR serving tier: the consistent-hash
+//! ring must assign every key a valid shard deterministically, growing
+//! the ring may move keys only onto the new shard, and a full tier run —
+//! routing, admission, shedding, cache fills, Monte-Carlo recomputes —
+//! must be bit-identical at any `jobs` count for any seed, topology,
+//! queue depth, and shed policy.
+
+use everest_apps::traffic::serve::{HashRing, LoadGen, ServeConfig, ServeTier, ShedPolicy};
+use everest_apps::traffic::{generate_fcd, RoadNetwork, SpeedProfiles};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One synthetic city + learned profiles + route-pool generator, shared
+/// across cases (building speed profiles dominates otherwise).
+fn fixture() -> &'static (RoadNetwork, SpeedProfiles, LoadGen) {
+    static FIXTURE: OnceLock<(RoadNetwork, SpeedProfiles, LoadGen)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let network = RoadNetwork::grid(1, 8, 1.0);
+        let fcd = generate_fcd(&network, 2, 40_000);
+        let profiles = SpeedProfiles::learn(&network, &fcd);
+        let generator = LoadGen::new(&network, &profiles, 8, 3);
+        (network, profiles, generator)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_assignment_is_total_and_deterministic(
+        shards in 1usize..8,
+        vnodes in 1usize..64,
+        keys in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let ring = HashRing::new(shards, vnodes);
+        let again = HashRing::new(shards, vnodes);
+        for &key in &keys {
+            let shard = ring.shard_of(key);
+            prop_assert!(shard < shards, "shard {shard} out of range for {shards} shards");
+            prop_assert_eq!(shard, again.shard_of(key), "same topology must route identically");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_keys_only_to_the_new_shard(
+        shards in 1usize..7,
+        vnodes in 8usize..64,
+        keys in prop::collection::vec(any::<u64>(), 1..128),
+    ) {
+        // The consistent-hashing contract: adding shard N+1 leaves every
+        // surviving ring point in place, so a key either keeps its shard
+        // or lands on the newcomer — never migrates between survivors.
+        let old = HashRing::new(shards, vnodes);
+        let new = HashRing::new(shards + 1, vnodes);
+        for &key in &keys {
+            let before = old.shard_of(key);
+            let after = new.shard_of(key);
+            if before != after {
+                prop_assert_eq!(
+                    after, shards,
+                    "key {} moved from shard {} to {} instead of the new shard",
+                    key, before, after
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs the tier twice end-to-end (including real
+    // Monte-Carlo recomputes), so fewer, fatter cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tier_runs_are_bit_identical_at_any_jobs(
+        seed in any::<u32>(),
+        day in any::<u64>(),
+        shards in 1usize..5,
+        queue_depth in 1usize..24,
+        shed_oldest in any::<bool>(),
+        offered_qps in 10_000.0f64..80_000.0,
+    ) {
+        let (network, profiles, generator) = fixture();
+        let workload = generator.generate(day, offered_qps, 150.0 / offered_qps, 150);
+        prop_assume!(!workload.is_empty());
+        let run = |jobs: usize| {
+            let mut config = ServeConfig::new(shards);
+            config.seed = seed as u64;
+            config.jobs = jobs;
+            config.queue_depth = queue_depth;
+            config.policy =
+                if shed_oldest { ShedPolicy::ShedOldest } else { ShedPolicy::RejectNew };
+            let tier = ServeTier::new(network.clone(), profiles.clone(), config);
+            tier.run(&workload).fingerprint()
+        };
+        // The fingerprint covers every per-query result bit-for-bit plus
+        // the per-shard admit/shed/hit counters, so equal fingerprints
+        // mean identical shard assignment and serving behaviour.
+        let sequential = run(1);
+        prop_assert_eq!(&sequential, &run(4), "jobs=4 diverged from jobs=1");
+        prop_assert_eq!(&sequential, &run(3), "jobs=3 diverged from jobs=1");
+    }
+}

@@ -15,8 +15,23 @@ use serde_json::Value;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Best-of-RUNS timing repetitions per kernel arm.
-const RUNS: usize = 7;
+/// Best-of-RUNS timing rounds. Each round visits every kernel's scalar
+/// and SIMD arm back to back (matmul scalar, matmul simd, stencil
+/// scalar, …), so each arm's samples are spread across the whole bench
+/// window instead of packed into one contiguous burst. Slow drift and
+/// multi-second load spikes — thermal throttling, a background daemon
+/// waking up — then have to cover *every* round to bias an arm's
+/// best-of, and they hit both arms of a ratio alike. Together with
+/// `ITERS` calls per timed sample this brought the run-to-run spread of
+/// the gated `*_per_sec` leaves from ~13% to low single digits on a
+/// quiet machine (see EXPERIMENTS.md, E23).
+const RUNS: usize = 25;
+
+/// Kernel invocations per timed sample. The fastest arms finish a single
+/// call in tens of microseconds, where `Instant` jitter and a single
+/// scheduler preemption swamp the signal; timing a short batch and
+/// dividing amortizes both.
+const ITERS: usize = 4;
 
 /// Deterministic pseudo-random doubles in [-scale, scale).
 fn noise(n: usize, seed: u64, scale: f64) -> Vec<f64> {
@@ -33,35 +48,64 @@ fn noise(n: usize, seed: u64, scale: f64) -> Vec<f64> {
         .collect()
 }
 
-/// Best-of-RUNS elements/second for `work`, which processes `elems`
-/// elements per call and returns a value to keep alive.
-fn throughput<T>(elems: usize, mut work: impl FnMut() -> T) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..RUNS {
-        let start = Instant::now();
-        black_box(work());
-        best = best.min(start.elapsed().as_secs_f64());
+/// One timed sample: `ITERS` back-to-back calls, seconds per call.
+fn sample(work: &mut dyn FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        work();
     }
-    elems as f64 / best
+    start.elapsed().as_secs_f64() / ITERS as f64
 }
 
-fn kernel_entry(name: &str, scalar_per_sec: f64, simd_per_sec: f64) -> Value {
-    println!(
-        "{name:<10} scalar {:>12.3e} elem/s   simd {:>12.3e} elem/s   speedup {:>5.2}x",
-        scalar_per_sec,
-        simd_per_sec,
-        simd_per_sec / scalar_per_sec
-    );
-    Value::Object(vec![
-        ("kernel".to_owned(), Value::Str(name.to_owned())),
-        ("scalar_elems_per_sec".to_owned(), Value::Float(scalar_per_sec)),
-        ("simd_elems_per_sec".to_owned(), Value::Float(simd_per_sec)),
-        ("speedup".to_owned(), Value::Float(simd_per_sec / scalar_per_sec)),
-    ])
+/// One kernel's scalar/SIMD arm pair plus its best-observed sample times.
+struct Arm {
+    name: &'static str,
+    /// Elements processed per call (the `*_per_sec` denominator).
+    elems: usize,
+    scalar: Box<dyn FnMut()>,
+    fast: Box<dyn FnMut()>,
+    best_scalar: f64,
+    best_fast: f64,
+}
+
+impl Arm {
+    fn new(
+        name: &'static str,
+        elems: usize,
+        scalar: impl FnMut() + 'static,
+        fast: impl FnMut() + 'static,
+    ) -> Self {
+        Arm {
+            name,
+            elems,
+            scalar: Box::new(scalar),
+            fast: Box::new(fast),
+            best_scalar: f64::INFINITY,
+            best_fast: f64::INFINITY,
+        }
+    }
+
+    fn entry(&self) -> Value {
+        let scalar_per_sec = self.elems as f64 / self.best_scalar;
+        let simd_per_sec = self.elems as f64 / self.best_fast;
+        println!(
+            "{:<10} scalar {:>12.3e} elem/s   simd {:>12.3e} elem/s   speedup {:>5.2}x",
+            self.name,
+            scalar_per_sec,
+            simd_per_sec,
+            simd_per_sec / scalar_per_sec
+        );
+        Value::Object(vec![
+            ("kernel".to_owned(), Value::Str(self.name.to_owned())),
+            ("scalar_elems_per_sec".to_owned(), Value::Float(scalar_per_sec)),
+            ("simd_elems_per_sec".to_owned(), Value::Float(simd_per_sec)),
+            ("speedup".to_owned(), Value::Float(simd_per_sec / scalar_per_sec)),
+        ])
+    }
 }
 
 fn main() {
-    let mut kernels = Vec::new();
+    let mut arms = Vec::new();
 
     // Matmul: 96³ — every output element does 96 multiply-adds.
     {
@@ -74,9 +118,17 @@ fn main() {
             "matmul parity"
         );
         let elems = m * k * n; // fused multiply-add count
-        let scalar = throughput(elems, || simd::matmul_scalar(&a, &b, m, k, n));
-        let fast = throughput(elems, || simd::matmul(&a, &b, m, k, n));
-        kernels.push(kernel_entry("matmul", scalar, fast));
+        let (a2, b2) = (a.clone(), b.clone());
+        arms.push(Arm::new(
+            "matmul",
+            elems,
+            move || {
+                black_box(simd::matmul_scalar(&a, &b, m, k, n));
+            },
+            move || {
+                black_box(simd::matmul(&a2, &b2, m, k, n));
+            },
+        ));
     }
 
     // Stencil: 64 rows × 4096, 5-tap.
@@ -89,10 +141,17 @@ fn main() {
             simd::stencil_rows_scalar(&x, rows, last, &weights),
             "stencil parity"
         );
-        let elems = rows * last;
-        let scalar = throughput(elems, || simd::stencil_rows_scalar(&x, rows, last, &weights));
-        let fast = throughput(elems, || simd::stencil_rows(&x, rows, last, &weights));
-        kernels.push(kernel_entry("stencil", scalar, fast));
+        let x2 = x.clone();
+        arms.push(Arm::new(
+            "stencil",
+            rows * last,
+            move || {
+                black_box(simd::stencil_rows_scalar(&x, rows, last, &weights));
+            },
+            move || {
+                black_box(simd::stencil_rows(&x2, rows, last, &weights));
+            },
+        ));
     }
 
     // Sigmoid: 256 Ki elements, the exp-bound kernel.
@@ -102,9 +161,18 @@ fn main() {
         for (f, e) in fast_out.iter().zip(simd::sigmoid_scalar(&x)) {
             assert!((f - e).abs() < 1e-6, "sigmoid parity");
         }
-        let scalar = throughput(x.len(), || simd::sigmoid_scalar(&x));
-        let fast = throughput(x.len(), || simd::sigmoid(&x));
-        kernels.push(kernel_entry("sigmoid", scalar, fast));
+        let x2 = x.clone();
+        let elems = x.len();
+        arms.push(Arm::new(
+            "sigmoid",
+            elems,
+            move || {
+                black_box(simd::sigmoid_scalar(&x));
+            },
+            move || {
+                black_box(simd::sigmoid(&x2));
+            },
+        ));
     }
 
     // Gaussian plume: the air-quality use case's 128×128 receptor grid,
@@ -119,15 +187,39 @@ fn main() {
             assert!((f - e).abs() < tol, "plume parity");
         }
         let elems = model.cells * model.cells;
-        let scalar = throughput(elems, || model.concentration_grid_scalar(&met));
-        let fast = throughput(elems, || model.concentration_grid(&met));
-        kernels.push(kernel_entry("plume", scalar, fast));
+        let model2 = model.clone();
+        arms.push(Arm::new(
+            "plume",
+            elems,
+            move || {
+                black_box(model.concentration_grid_scalar(&met));
+            },
+            move || {
+                black_box(model2.concentration_grid(&met));
+            },
+        ));
     }
 
+    // Warm every arm once outside the timed window (page-in, branch
+    // predictors, frequency ramp) so round 0 is not an outlier, then
+    // interleave: each round times every arm once.
+    for arm in &mut arms {
+        (arm.scalar)();
+        (arm.fast)();
+    }
+    for _ in 0..RUNS {
+        for arm in &mut arms {
+            arm.best_scalar = arm.best_scalar.min(sample(&mut arm.scalar));
+            arm.best_fast = arm.best_fast.min(sample(&mut arm.fast));
+        }
+    }
+
+    let kernels: Vec<Value> = arms.iter().map(Arm::entry).collect();
     let json = Value::Object(vec![
         ("bench".to_owned(), Value::Str("kernels".to_owned())),
         ("experiment".to_owned(), Value::Str("E23".to_owned())),
         ("runs".to_owned(), Value::UInt(RUNS as u64)),
+        ("iters_per_sample".to_owned(), Value::UInt(ITERS as u64)),
         ("kernels".to_owned(), Value::Array(kernels)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

@@ -1,7 +1,8 @@
 //! The [`Sdk`] façade: compile kernels, explore variants, deploy roles to
 //! the target system, and wire the runtime. Configure it through
-//! [`Sdk::builder`]; the historical `Sdk::new()` / `Sdk::small()` /
-//! `Sdk::with_jobs()` constructors survive as deprecated wrappers.
+//! [`Sdk::builder`] (the historical `Sdk::new()` / `Sdk::small()` /
+//! `Sdk::with_jobs()` wrappers went through a deprecation cycle and are
+//! gone; every caller builds).
 
 use crate::error::SdkResult;
 use everest_dsl::compile_kernels;
@@ -185,30 +186,6 @@ impl Sdk {
     /// Starts configuring an SDK.
     pub fn builder() -> SdkBuilder {
         SdkBuilder::default()
-    }
-
-    /// An SDK over the reference EVEREST system with the default design
-    /// space.
-    #[deprecated(since = "0.2.0", note = "use `Sdk::builder().build()`")]
-    pub fn new() -> Sdk {
-        Sdk::builder().build()
-    }
-
-    /// An SDK with a minimal design space (fast unit tests / examples).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Sdk::builder().space(DesignSpace::small()).build()`"
-    )]
-    pub fn small() -> Sdk {
-        Sdk::builder().space(DesignSpace::small()).build()
-    }
-
-    /// Sets the DSE worker count (clamped to at least 1).
-    #[deprecated(since = "0.2.0", note = "use `Sdk::builder().jobs(n).build()`")]
-    #[must_use]
-    pub fn with_jobs(mut self, jobs: usize) -> Sdk {
-        self.jobs = jobs.max(1);
-        self
     }
 
     /// An offload recovery layer over this SDK's system, armed with the
@@ -493,19 +470,6 @@ mod tests {
         };
         let outcome = mgr.execute(&call).unwrap();
         assert!(!outcome.degraded);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_behave() {
-        // The pre-builder API keeps compiling and produces the same
-        // configuration as its builder replacement.
-        let old = Sdk::small().with_jobs(3);
-        let new = Sdk::builder().space(DesignSpace::small()).jobs(3).build();
-        assert_eq!(old.jobs, new.jobs);
-        assert_eq!(old.space.size(), new.space.size());
-        assert_eq!(Sdk::new().jobs, Sdk::default().jobs);
-        assert!(Sdk::new().fault_plan.is_none());
     }
 
     #[test]

@@ -178,6 +178,63 @@ fn transfer_bytes_energy_j(bytes: u64) -> f64 {
     bytes as f64 * 20e-9
 }
 
+/// Nominal floating-point work of one Monte-Carlo sample-edge step in
+/// the PTDR kernel (normal draw + clamp + divide), used to translate
+/// query shape into tier compute time.
+pub const PTDR_SAMPLE_EDGE_FLOPS: f64 = 50.0;
+
+/// Nominal work of one cache lookup + response serialization on the
+/// serving path.
+pub const PTDR_LOOKUP_FLOPS: f64 = 2_000.0;
+
+/// Request/response payload sizes of a cloud-tier cache fill, bytes.
+pub const PTDR_REQUEST_BYTES: u64 = 64;
+pub const PTDR_RESPONSE_BYTES: u64 = 24;
+
+/// Virtual service-cost model of one PTDR edge shard, derived from the
+/// Fig. 3 tier specs: lookups and Monte-Carlo recomputes run on an
+/// inner-edge core, misses pay a round trip over the edge→cloud uplink
+/// to consult the cloud tier. All costs are in virtual microseconds, so
+/// admission/shedding decisions built on them are pure functions of the
+/// workload — independent of wall-clock and worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeCostModel {
+    /// Cost of answering from the shard's own cache.
+    pub hit_us: f64,
+    /// Round-trip cost of consulting the cloud tier (request out,
+    /// response back over the inner-edge uplink).
+    pub fill_rtt_us: f64,
+    /// Monte-Carlo recompute cost per sample-edge on an edge core.
+    pub compute_us_per_sample_edge: f64,
+}
+
+impl ServeCostModel {
+    /// The model for an inner-edge shard backed by the cloud tier.
+    pub fn edge_shard() -> ServeCostModel {
+        let cpu = Tier::InnerEdge.cpu();
+        let flops_per_us = cpu.gflops_per_core * 1e3;
+        let uplink = Tier::InnerEdge.uplink().expect("inner edge has an uplink");
+        ServeCostModel {
+            hit_us: PTDR_LOOKUP_FLOPS / flops_per_us,
+            fill_rtt_us: uplink.transfer_us(PTDR_REQUEST_BYTES)
+                + uplink.transfer_us(PTDR_RESPONSE_BYTES),
+            compute_us_per_sample_edge: PTDR_SAMPLE_EDGE_FLOPS / flops_per_us,
+        }
+    }
+
+    /// Cost of a full Monte-Carlo recompute for a `route_edges`-edge
+    /// route at `samples` samples (cloud-tier fill on a total miss).
+    pub fn compute_us(&self, route_edges: usize, samples: usize) -> f64 {
+        (route_edges * samples) as f64 * self.compute_us_per_sample_edge
+    }
+
+    /// Worst-case service cost of a single query: a total miss that
+    /// pays the uplink round trip plus the full recompute.
+    pub fn worst_case_us(&self, route_edges: usize, samples: usize) -> f64 {
+        self.fill_rtt_us + self.compute_us(route_edges, samples)
+    }
+}
+
 /// Enumerates all valid (non-decreasing) placements for `n` stages.
 pub fn all_placements(n: usize) -> Vec<Vec<Tier>> {
     fn rec(n: usize, min_tier: usize, prefix: &mut Vec<Tier>, out: &mut Vec<Vec<Tier>>) {
@@ -271,6 +328,22 @@ mod tests {
     fn backward_placement_rejected() {
         let stages = sample_stages();
         evaluate(&stages, &[Tier::Cloud, Tier::InnerEdge, Tier::Cloud], 100);
+    }
+
+    #[test]
+    fn serve_cost_model_orders_hit_fill_compute() {
+        let model = ServeCostModel::edge_shard();
+        // A cache hit is far cheaper than the cloud round trip, which in
+        // turn is cheaper than recomputing a realistic query (20 edges x
+        // 256 samples) — the ordering the shard cache exists to exploit.
+        assert!(model.hit_us > 0.0);
+        assert!(model.hit_us < 2.0, "lookup must be sub-2us on an edge core: {}", model.hit_us);
+        assert!(model.fill_rtt_us > 10.0 * model.hit_us);
+        let compute = model.compute_us(20, 256);
+        assert!(compute > model.fill_rtt_us);
+        assert_eq!(model.worst_case_us(20, 256), model.fill_rtt_us + compute);
+        // Costs scale linearly in route length and sample count.
+        assert!((model.compute_us(40, 256) - 2.0 * compute).abs() < 1e-9);
     }
 
     #[test]

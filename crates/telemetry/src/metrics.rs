@@ -63,6 +63,21 @@ impl MetricsRegistry {
         *slot(&mut self.inner.lock().gauges, name, || 0.0) = value;
     }
 
+    /// Raises the named gauge to `value` if the current reading is
+    /// lower (or the gauge is unset) — peak tracking, e.g. high-water
+    /// queue depths. NaN is ignored so a bad sample cannot wedge the
+    /// gauge.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let slot = slot(&mut inner.gauges, name, || value);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
     /// Records `value` into the named histogram.
     ///
     /// NaN is rejected (it can no longer poison `sum`/mean) and negative
@@ -212,6 +227,19 @@ mod tests {
         registry.gauge_set("free_luts", 640.0);
         assert_eq!(registry.snapshot().gauge("free_luts"), Some(640.0));
         assert_eq!(registry.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn gauge_max_tracks_the_peak() {
+        let registry = MetricsRegistry::new();
+        registry.gauge_max("queue.depth", 3.0);
+        registry.gauge_max("queue.depth", 7.0);
+        registry.gauge_max("queue.depth", 5.0);
+        registry.gauge_max("queue.depth", f64::NAN);
+        assert_eq!(registry.snapshot().gauge("queue.depth"), Some(7.0));
+        // A later gauge_set still overwrites (last-wins semantics).
+        registry.gauge_set("queue.depth", 1.0);
+        assert_eq!(registry.snapshot().gauge("queue.depth"), Some(1.0));
     }
 
     #[test]

@@ -35,6 +35,63 @@ rt_latency_us_count 3
 }
 
 #[test]
+fn serve_tier_families_match_golden() {
+    // Exactly the metric families `ServeTier::publish` (everest-apps)
+    // emits after a run: shard counters (present even at zero), the
+    // per-shard peak queue-depth gauges via `gauge_max`, and the
+    // virtual-time latency/wait histograms.
+    let registry = MetricsRegistry::new();
+    registry.counter_add("serve.queries", 6);
+    registry.counter_add("serve.shard.hit", 2);
+    registry.counter_add("serve.shard.miss", 3);
+    registry.counter_add("serve.shard.fill", 2);
+    registry.counter_add("serve.shard.shed", 1);
+    registry.counter_add("serve.shard.rejected", 0);
+    registry.gauge_max("serve.shard0.queue_depth", 3.0);
+    registry.gauge_max("serve.shard0.queue_depth", 7.0); // peak wins
+    registry.gauge_max("serve.shard0.queue_depth", 5.0);
+    registry.gauge_max("serve.shard1.queue_depth", 2.0);
+    registry.observe("serve.query.latency_us", 0.0);
+    registry.observe("serve.query.latency_us", 1.0);
+    registry.observe("serve.query.latency_us", 3.0);
+    registry.observe("serve.queue.wait_us", 0.0);
+
+    let text = openmetrics_text(&registry.snapshot());
+    let golden = "\
+# TYPE serve_queries counter
+serve_queries_total 6
+# TYPE serve_shard_fill counter
+serve_shard_fill_total 2
+# TYPE serve_shard_hit counter
+serve_shard_hit_total 2
+# TYPE serve_shard_miss counter
+serve_shard_miss_total 3
+# TYPE serve_shard_rejected counter
+serve_shard_rejected_total 0
+# TYPE serve_shard_shed counter
+serve_shard_shed_total 1
+# TYPE serve_shard0_queue_depth gauge
+serve_shard0_queue_depth 7
+# TYPE serve_shard1_queue_depth gauge
+serve_shard1_queue_depth 2
+# TYPE serve_query_latency_us histogram
+serve_query_latency_us_bucket{le=\"0\"} 1
+serve_query_latency_us_bucket{le=\"1.03125\"} 2
+serve_query_latency_us_bucket{le=\"3.0625\"} 3
+serve_query_latency_us_bucket{le=\"+Inf\"} 3
+serve_query_latency_us_sum 4
+serve_query_latency_us_count 3
+# TYPE serve_queue_wait_us histogram
+serve_queue_wait_us_bucket{le=\"0\"} 1
+serve_queue_wait_us_bucket{le=\"+Inf\"} 1
+serve_queue_wait_us_sum 0
+serve_queue_wait_us_count 1
+# EOF
+";
+    assert_eq!(text, golden);
+}
+
+#[test]
 fn bucket_counts_are_cumulative_and_close_at_count() {
     let registry = MetricsRegistry::new();
     for i in 1..=100 {
