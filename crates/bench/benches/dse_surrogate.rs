@@ -1,0 +1,286 @@
+//! E25: surrogate-pruned design-space exploration. Sweeps four
+//! structurally distinct kernels over a deliberately large hardware knob
+//! grid twice — exhaustively, and pruned by the learned cost model — at
+//! `jobs = 1`, `2` and `4`. Checks that both engines are bit-identical
+//! across worker counts, that the pruned Pareto front's hypervolume stays
+//! within 1% of the exhaustive front's, and writes the throughput
+//! trajectory to `BENCH_dse_surrogate.json` (gated by `bench_diff`) plus
+//! a `surrogate` section inside `BENCH_dse.json`.
+//!
+//! Run with `cargo bench -p everest-bench --bench dse_surrogate`.
+
+use everest::variants::space::DesignSpace;
+use everest::variants::{generate_all, generate_all_pruned, pareto, ExploreReport, PruneConfig};
+use everest::Variant;
+use serde_json::Value;
+use std::time::Instant;
+
+/// Four structurally distinct kernels — dense matmul, stencil, streaming
+/// triad, pointwise scale — so the synthesis cache cannot share results
+/// across kernels and the surrogate has to generalize across workloads.
+const SRC: &str = "
+    kernel gemm(a: tensor<24x24xf64>, b: tensor<24x24xf64>) -> tensor<24x24xf64> {
+        return a @ b;
+    }
+    kernel smooth(x: tensor<256xf64>) -> tensor<256xf64> {
+        return stencil(x, [0.25, 0.5, 0.25]);
+    }
+    kernel axpy(a: tensor<256xf64>, b: tensor<256xf64>) -> tensor<256xf64> {
+        return 2.0 * a + b;
+    }
+    kernel scale(x: tensor<48x48xf64>) -> tensor<48x48xf64> {
+        return 3.0 * x;
+    }
+";
+
+const RUNS: usize = 3;
+
+/// The swept space: the default software knobs crossed with a 7×9×2×2
+/// hardware grid per attachment target — 504 hardware (point, target)
+/// pairs per kernel, the "extreme-scale" regime exhaustive synthesis
+/// cannot keep up with. Banks stop at 64, under every kernel's buffer
+/// element count, so the synthesizer's buffer clamp (invisible to the
+/// model's features) never folds distinct bank counts together.
+fn space() -> DesignSpace {
+    DesignSpace {
+        banks: vec![1, 2, 4, 8, 16, 32, 64],
+        pes: vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+        pipeline: vec![true, false],
+        dift: vec![false, true],
+        ..DesignSpace::default()
+    }
+}
+
+/// The pruning configuration under test: a 2% exact training sample, a
+/// tight margin band and a coarse near-duplicate collapse — the settings
+/// the 10× headline is claimed at.
+fn prune_config() -> PruneConfig {
+    PruneConfig {
+        margin: 0.05,
+        train_fraction: 0.02,
+        min_train: 48,
+        dedup_eps: 0.2,
+        ..PruneConfig::default()
+    }
+}
+
+fn fingerprint(sets: &[Vec<Variant>]) -> String {
+    let mut out = String::new();
+    for set in sets {
+        for v in set {
+            out.push_str(&serde_json::to_string(v).expect("variant serializes"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+struct Run {
+    jobs: usize,
+    wall_ms: f64,
+    points_per_sec: f64,
+}
+
+/// Times `f` over the full (kernel × point) batch with a cold synthesis
+/// cache, keeping the fastest of [`RUNS`] attempts.
+fn measure<T>(
+    funcs: &[&everest::ir::Func],
+    space: &DesignSpace,
+    jobs: usize,
+    f: impl Fn(usize) -> T,
+    fp: impl Fn(&T) -> String,
+) -> (Run, T) {
+    everest::hls::cache::global().clear();
+    let first = f(jobs);
+    let reference = fp(&first);
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        everest::hls::cache::global().clear();
+        let start = Instant::now();
+        let out = f(jobs);
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(reference, fp(&out), "jobs={jobs} output drifted between runs");
+        best = best.min(wall);
+    }
+    let points = funcs.len() * space.size();
+    let run = Run { jobs, wall_ms: best, points_per_sec: points as f64 / (best / 1e3) };
+    (run, first)
+}
+
+/// Hypervolume of each kernel's pruned front relative to its exhaustive
+/// front, both measured against the exhaustive reference point. Returns
+/// the worst per-kernel ratio.
+fn front_quality(full: &[Vec<Variant>], pruned: &[Vec<Variant>]) -> f64 {
+    let mut worst = f64::INFINITY;
+    for (full_set, pruned_set) in full.iter().zip(pruned) {
+        let reference = pareto::reference_point(full_set);
+        let hv_full = pareto::hypervolume(&pareto::pareto_front(full_set), reference);
+        let hv_pruned = pareto::hypervolume(&pareto::pareto_front(pruned_set), reference);
+        worst = worst.min(if hv_full > 0.0 { hv_pruned / hv_full } else { 1.0 });
+    }
+    worst
+}
+
+fn main() {
+    let module = everest::dsl::compile_kernels(SRC).expect("bench corpus compiles");
+    let funcs: Vec<&everest::ir::Func> = module.iter().collect();
+    let space = space();
+    let cfg = prune_config();
+    let total_points = funcs.len() * space.size();
+    println!(
+        "sweep: {} kernels x {} points = {} design points",
+        funcs.len(),
+        space.size(),
+        total_points
+    );
+
+    let mut exhaustive_runs = Vec::new();
+    let mut pruned_runs = Vec::new();
+    let mut full_sets: Option<Vec<Vec<Variant>>> = None;
+    let mut pruned_sets: Option<Vec<Vec<Variant>>> = None;
+    let mut report: Option<ExploreReport> = None;
+    let mut exhaustive_fp: Option<String> = None;
+    let mut pruned_fp: Option<String> = None;
+
+    for jobs in [1usize, 2, 4] {
+        let (run, sets) = measure(
+            &funcs,
+            &space,
+            jobs,
+            |jobs| generate_all(&funcs, &space, jobs).expect("exhaustive sweep succeeds"),
+            |sets| fingerprint(sets),
+        );
+        let fp = fingerprint(&sets);
+        match &exhaustive_fp {
+            None => {
+                exhaustive_fp = Some(fp);
+                full_sets = Some(sets);
+            }
+            Some(reference) => assert_eq!(reference, &fp, "exhaustive jobs={jobs} diverged"),
+        }
+        println!(
+            "exhaustive jobs={:<2} wall={:>9.2} ms  {:>9.0} points/s",
+            run.jobs, run.wall_ms, run.points_per_sec
+        );
+        exhaustive_runs.push(run);
+
+        let (run, out) = measure(
+            &funcs,
+            &space,
+            jobs,
+            |jobs| generate_all_pruned(&funcs, &space, jobs, &cfg).expect("pruned sweep succeeds"),
+            |(sets, _)| fingerprint(sets),
+        );
+        let (sets, jobs_report) = out;
+        let fp = fingerprint(&sets);
+        match &pruned_fp {
+            None => {
+                pruned_fp = Some(fp);
+                pruned_sets = Some(sets);
+                report = Some(jobs_report);
+            }
+            Some(reference) => {
+                assert_eq!(reference, &fp, "pruned jobs={jobs} diverged");
+                assert_eq!(report.as_ref(), Some(&jobs_report), "pruned report diverged");
+            }
+        }
+        println!(
+            "pruned     jobs={:<2} wall={:>9.2} ms  {:>9.0} points/s",
+            run.jobs, run.wall_ms, run.points_per_sec
+        );
+        pruned_runs.push(run);
+    }
+
+    let full_sets = full_sets.expect("exhaustive sets recorded");
+    let pruned_sets = pruned_sets.expect("pruned sets recorded");
+    let report = report.expect("explore report recorded");
+    assert!(!report.fallback, "the bench space must engage the model, not fall back");
+
+    // Front quality: the pruned hypervolume must stay within 1% of the
+    // exhaustive hypervolume on every kernel.
+    let hv_ratio = front_quality(&full_sets, &pruned_sets);
+    assert!(hv_ratio >= 0.99, "pruned front lost {:.2}% hypervolume", (1.0 - hv_ratio) * 100.0);
+
+    // Every pruned variant is an exactly-evaluated point of the
+    // exhaustive sweep (same id, same metrics).
+    for (pruned_set, full_set) in pruned_sets.iter().zip(&full_sets) {
+        for v in pruned_set {
+            let exact = full_set.iter().find(|f| f.id == v.id).expect("pruned id exists");
+            assert_eq!(v.metrics, exact.metrics, "{} drifted from exact synthesis", v.id);
+        }
+    }
+
+    let headline_jobs = pruned_runs.len() - 1;
+    let speedup =
+        pruned_runs[headline_jobs].points_per_sec / exhaustive_runs[headline_jobs].points_per_sec;
+    println!(
+        "surrogate: trained {}, predicted {}, exact {}, pruned {} (val mape {:.3})",
+        report.train, report.predicted, report.exact, report.pruned, report.val_mape
+    );
+    println!(
+        "speedup pruned vs exhaustive at jobs=4: {speedup:.1}x, worst hypervolume ratio {:.4}",
+        hv_ratio
+    );
+
+    let runs_json = |runs: &[Run]| {
+        Value::Array(
+            runs.iter()
+                .map(|r| {
+                    Value::Object(vec![
+                        ("jobs".to_owned(), Value::UInt(r.jobs as u64)),
+                        ("wall_ms".to_owned(), Value::Float(r.wall_ms)),
+                        ("points_per_sec".to_owned(), Value::Float(r.points_per_sec)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let surrogate = Value::Object(vec![
+        ("experiment".to_owned(), Value::Str("E25".to_owned())),
+        ("kernels".to_owned(), Value::UInt(funcs.len() as u64)),
+        ("points".to_owned(), Value::UInt(total_points as u64)),
+        ("train".to_owned(), Value::UInt(report.train as u64)),
+        ("exact".to_owned(), Value::UInt(report.exact as u64)),
+        ("pruned".to_owned(), Value::UInt(report.pruned as u64)),
+        ("val_mape".to_owned(), Value::Float(report.val_mape)),
+        ("hv_ratio_worst".to_owned(), Value::Float(hv_ratio)),
+        ("speedup_pruned_vs_exhaustive_jobs4".to_owned(), Value::Float(speedup)),
+        (
+            "exhaustive_points_per_sec".to_owned(),
+            Value::Float(exhaustive_runs[headline_jobs].points_per_sec),
+        ),
+        (
+            "pruned_points_per_sec".to_owned(),
+            Value::Float(pruned_runs[headline_jobs].points_per_sec),
+        ),
+    ]);
+
+    let json = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("dse_surrogate".to_owned())),
+        ("experiment".to_owned(), Value::Str("E25".to_owned())),
+        ("exhaustive_runs".to_owned(), runs_json(&exhaustive_runs)),
+        ("pruned_runs".to_owned(), runs_json(&pruned_runs)),
+        ("surrogate".to_owned(), surrogate.clone()),
+        ("outputs_identical".to_owned(), Value::Bool(true)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse_surrogate.json");
+    std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializes"))
+        .expect("writes BENCH_dse_surrogate.json");
+    println!("wrote {path}");
+
+    // Fold the E25 section into BENCH_dse.json next to E18, replacing any
+    // previous surrogate entry.
+    let dse_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    if let Ok(existing) = std::fs::read_to_string(dse_path) {
+        if let Ok(Value::Object(mut fields)) = serde_json::from_str::<Value>(&existing) {
+            fields.retain(|(key, _)| key != "surrogate");
+            fields.push(("surrogate".to_owned(), surrogate));
+            std::fs::write(
+                dse_path,
+                serde_json::to_string_pretty(&Value::Object(fields)).expect("serializes"),
+            )
+            .expect("updates BENCH_dse.json");
+            println!("updated {dse_path}");
+        }
+    }
+}

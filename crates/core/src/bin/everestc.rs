@@ -1,22 +1,25 @@
 //! `everestc` — a command-line front door to the EVEREST SDK.
 //!
+//! Every subcommand is an entry in the [`COMMANDS`] registry: a name, an
+//! argument synopsis, a one-line summary, its flag documentation, and a
+//! run function. The help text, the usage error, and dispatch are all
+//! generated from that one table, so adding a subcommand is adding a row
+//! — there is no parallel `match` to keep in sync.
+//!
 //! ```text
 //! everestc ir <kernels.edsl>              print the unified IR
-//! everestc variants <kernels.edsl>       print the variant table per kernel
-//! everestc rtl <kernels.edsl> <kernel>   print the synthesized RTL
-//! everestc workflow <pipeline.ewf>       validate + print a workflow
-//! everestc check [--format <f>] <path>.. run the static lints (liveness,
-//!                                        range, taint/IFC, workflow races)
-//! everestc profile <kernels.edsl>        per-phase timing summary table
-//! everestc route [--queries <n>] [--samples <n>]
-//!                                        serve a PTDR routing workload
-//! everestc offload [--seed <n>] [--fault-profile <name>] [--calls <n>]
-//!                                        run a fault-injected offload batch
-//! everestc serve [--shards <n>] [--duration <s>] ...
-//!                                        drive the sharded PTDR serving tier
-//!                                        through 0.5x/1x/2x offered load
-//! everestc stats [--format <f>] <snapshot.json>..
-//!                                        merge + render metrics snapshots
+//! everestc variants <kernels.edsl>        print the variant table per kernel
+//!          [--surrogate] [--margin <f>]   ... pruned by a learned cost model
+//! everestc rtl <kernels.edsl> <kernel>    print the synthesized RTL
+//! everestc workflow <pipeline.ewf>        validate + print a workflow
+//! everestc check [--format <f>] <path>..  run the static lints
+//! everestc profile <kernels.edsl>         per-phase timing summary table
+//! everestc dataset [--seed <n>] [--points <n>] [--out <csv>] [--model <json>]
+//!                                         mass-produce an HLS training table
+//! everestc route [--queries <n>] ...      serve a PTDR routing workload
+//! everestc offload [--fault-profile <p>]  run a fault-injected offload batch
+//! everestc serve [--shards <n>] ...       drive the sharded PTDR serving tier
+//! everestc stats [--format <f>] <snap>..  merge + render metrics snapshots
 //! ```
 //!
 //! The global `--trace <out.json>` flag records every compiler phase and
@@ -31,71 +34,302 @@
 //! dumps the flight recorder's recent-event rings. `everestc stats`
 //! reloads, merges, and re-renders JSON snapshots offline.
 
-use everest::Sdk;
+use everest::{PruneConfig, Sdk};
 use everest_telemetry::export::{chrome_trace_json, flame_summary, spans_to_events};
 use everest_telemetry::openmetrics::{openmetrics_text, render_table};
 use everest_telemetry::{MetricsSnapshot, Tracer};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage:
-  everestc [--trace <out.json>] [--jobs <n>] ir <kernels.edsl>
-  everestc [--trace <out.json>] [--jobs <n>] variants <kernels.edsl>
-  everestc [--trace <out.json>] [--jobs <n>] rtl <kernels.edsl> <kernel>
-  everestc [--trace <out.json>] [--jobs <n>] workflow <pipeline.ewf>
-  everestc [--trace <out.json>] [--jobs <n>] check [--format text|json]
-           <file.edsl|file.eir|file.ewf>...
-  everestc [--trace <out.json>] [--jobs <n>] profile <kernels.edsl>
-  everestc [--trace <out.json>] [--jobs <n>] route [--queries <n>] [--samples <n>]
-  everestc [--trace <out.json>] [--jobs <n>] offload [--seed <n>]
-           [--fault-profile <name>] [--calls <n>]
-  everestc [--trace <out.json>] [--jobs <n>] serve [--shards <n>]
-           [--duration <s>] [--queue-depth <n>] [--policy <p>] [--seed <n>]
-           [--queries <n>]
-  everestc stats [--format table|openmetrics|json] <snapshot.json>...
-  everestc help | --help | -h
-  everestc --version | -V
+/// Global context handed to every subcommand's run function.
+struct Ctx {
+    /// DSE / service worker count (`--jobs`).
+    jobs: usize,
+}
 
-options:
-  --trace <out.json>   write a Chrome trace-event JSON file covering the
-                       compiler phases run by the subcommand
-  --metrics <path>     write the final metrics snapshot of any subcommand:
-                       OpenMetrics text when <path> ends in .prom/.txt/.om,
-                       JSON otherwise (reloadable by `everestc stats`)
-  --flight <path>      write the flight recorder's recent-event rings as
-                       JSON (the always-on post-hoc trace)
-  --jobs <n>           worker count for design-space exploration and the
-                       PTDR routing service (default: the host's
-                       available parallelism, at least 2); 1 runs the
-                       sequential reference evaluator, 2+ the pooled,
-                       cached engine — results are identical either way
-  --format <f>         diagnostic output format: text (default) or json
-                       (check); exit code is 1 when any error-severity
-                       diagnostic is reported, 0 when clean
-                       (stats: table (default), openmetrics or json)
-  --queries <n>        routing requests in the synthetic workload
-                       (route: default 256; serve: cap on generated
-                       arrivals per load point, default 50000)
-  --samples <n>        Monte-Carlo samples per routing request
-                       (route: default 1000)
-  --seed <n>           workload/fault-plan seed; the same seed yields a
-                       bit-identical trace at any --jobs count
-                       (offload and serve: default 7)
-  --shards <n>         edge shard count on the consistent-hash ring
-                       (serve: default 4)
-  --duration <s>       virtual seconds of open-loop load per offered-load
-                       point; one diurnal day is compressed into the
-                       window (serve: default 0.2)
-  --queue-depth <n>    bounded admission queue per shard; arrivals beyond
-                       it are load-shed (serve: default 64)
-  --policy <p>         shedding policy once a queue fills: reject-new or
-                       shed-oldest (serve: default reject-new)
-  --fault-profile <p>  fault scenario: none, lossy, flaky or meltdown
-                       (offload: default lossy)
-  --calls <n>          kernel invocations in the offload batch
-                       (offload: default 32)";
+type RunFn = fn(&Ctx, Vec<String>) -> Result<u8, Box<dyn std::error::Error>>;
+
+/// One documented flag: the name, its value placeholder, and help text.
+struct FlagDoc {
+    name: &'static str,
+    value: &'static str,
+    help: &'static str,
+}
+
+/// One subcommand: everything the driver needs to dispatch and document
+/// it. `records` opts the command into span recording even without
+/// `--trace` (and into the post-run flame summary).
+struct CommandSpec {
+    name: &'static str,
+    synopsis: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagDoc],
+    records: bool,
+    run: RunFn,
+}
+
+/// Flags accepted in any position, before or after the subcommand.
+const GLOBAL_FLAGS: &[FlagDoc] = &[
+    FlagDoc {
+        name: "--trace",
+        value: "<out.json>",
+        help: "write a Chrome trace-event JSON file covering the compiler \
+               phases run by the subcommand",
+    },
+    FlagDoc {
+        name: "--metrics",
+        value: "<path>",
+        help: "write the final metrics snapshot of any subcommand: OpenMetrics \
+               text when <path> ends in .prom/.txt/.om, JSON otherwise \
+               (reloadable by `everestc stats`)",
+    },
+    FlagDoc {
+        name: "--flight",
+        value: "<path>",
+        help: "write the flight recorder's recent-event rings as JSON (the \
+               always-on post-hoc trace)",
+    },
+    FlagDoc {
+        name: "--jobs",
+        value: "<n>",
+        help: "worker count for design-space exploration and the PTDR routing \
+               service (default: the host's available parallelism, at least \
+               2); 1 runs the sequential reference evaluator, 2+ the pooled, \
+               cached engine — results are identical either way",
+    },
+];
+
+/// The subcommand registry. Dispatch, `everestc help` and the usage error
+/// are all generated from this table.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "ir",
+        synopsis: "<kernels.edsl>",
+        summary: "compile tensor-DSL kernels and print the unified IR",
+        flags: &[],
+        records: false,
+        run: cmd_ir,
+    },
+    CommandSpec {
+        name: "variants",
+        synopsis: "[--surrogate] [--margin <f>] <kernels.edsl>",
+        summary: "explore the design space and print the variant table per kernel",
+        flags: &[
+            FlagDoc {
+                name: "--surrogate",
+                value: "",
+                help: "prune the exploration with a learned cost model: train on \
+                       a sample of the hardware points, synthesize exactly only \
+                       near the predicted Pareto front",
+            },
+            FlagDoc {
+                name: "--margin",
+                value: "<f>",
+                help: "surrogate pruning margin in [0, 1): larger keeps a thicker \
+                       band around the predicted front (default 0.15)",
+            },
+        ],
+        records: false,
+        run: cmd_variants,
+    },
+    CommandSpec {
+        name: "rtl",
+        synopsis: "<kernels.edsl> <kernel>",
+        summary: "synthesize one kernel and print its RTL",
+        flags: &[],
+        records: false,
+        run: cmd_rtl,
+    },
+    CommandSpec {
+        name: "workflow",
+        synopsis: "<pipeline.ewf>",
+        summary: "validate a workflow spec and print its IR and task graph",
+        flags: &[],
+        records: false,
+        run: cmd_workflow,
+    },
+    CommandSpec {
+        name: "check",
+        synopsis: "[--format text|json] <file.edsl|file.eir|file.ewf>...",
+        summary: "run the static lints (liveness, range, taint/IFC, workflow races)",
+        flags: &[FlagDoc {
+            name: "--format",
+            value: "<f>",
+            help: "diagnostic output format: text (default) or json; exit code \
+                   is 1 when any error-severity diagnostic is reported, 0 when \
+                   clean",
+        }],
+        records: false,
+        run: cmd_check,
+    },
+    CommandSpec {
+        name: "profile",
+        synopsis: "<kernels.edsl>",
+        summary: "compile with the recording tracer and print a per-phase summary",
+        flags: &[],
+        records: true,
+        run: cmd_profile,
+    },
+    CommandSpec {
+        name: "dataset",
+        synopsis: "[--seed <n>] [--points <n>] [--kernels <file.edsl>] [--out <csv>] [--model <json>]",
+        summary: "mass-produce a seed-reproducible HLS training table (and \
+                  optionally fit + save a surrogate cost model)",
+        flags: &[
+            FlagDoc {
+                name: "--seed",
+                value: "<n>",
+                help: "knob-sampling seed; the same seed yields a byte-identical \
+                       table at any --jobs count (dataset: default 7)",
+            },
+            FlagDoc {
+                name: "--points",
+                value: "<n>",
+                help: "number of (kernel, knob-vector) rows to produce \
+                       (default 256)",
+            },
+            FlagDoc {
+                name: "--kernels",
+                value: "<file.edsl>",
+                help: "tensor-DSL source providing the kernels to sample \
+                       (default: an embedded four-kernel corpus)",
+            },
+            FlagDoc {
+                name: "--out",
+                value: "<csv>",
+                help: "write the table to this file instead of stdout",
+            },
+            FlagDoc {
+                name: "--model",
+                value: "<json>",
+                help: "fit a surrogate cost model on the produced table and \
+                       write it as JSON",
+            },
+        ],
+        records: false,
+        run: cmd_dataset,
+    },
+    CommandSpec {
+        name: "route",
+        synopsis: "[--queries <n>] [--samples <n>]",
+        summary: "serve a synthetic PTDR routing workload cold and warm",
+        flags: &[
+            FlagDoc {
+                name: "--queries",
+                value: "<n>",
+                help: "routing requests in the synthetic workload (route: \
+                       default 256; serve: cap on generated arrivals per load \
+                       point, default 50000)",
+            },
+            FlagDoc {
+                name: "--samples",
+                value: "<n>",
+                help: "Monte-Carlo samples per routing request (default 1000)",
+            },
+        ],
+        records: false,
+        run: cmd_route,
+    },
+    CommandSpec {
+        name: "offload",
+        synopsis: "[--seed <n>] [--fault-profile <name>] [--calls <n>]",
+        summary: "run a fault-injected offload batch through the recovery layer",
+        flags: &[
+            FlagDoc {
+                name: "--seed",
+                value: "<n>",
+                help: "workload/fault-plan seed; the same seed yields a \
+                       bit-identical trace at any --jobs count (offload and \
+                       serve: default 7)",
+            },
+            FlagDoc {
+                name: "--fault-profile",
+                value: "<p>",
+                help: "fault scenario: none, lossy, flaky or meltdown \
+                       (default lossy)",
+            },
+            FlagDoc {
+                name: "--calls",
+                value: "<n>",
+                help: "kernel invocations in the offload batch (default 32)",
+            },
+        ],
+        records: false,
+        run: cmd_offload,
+    },
+    CommandSpec {
+        name: "serve",
+        synopsis: "[--shards <n>] [--duration <s>] [--queue-depth <n>] [--policy <p>] [--seed <n>] [--queries <n>]",
+        summary: "drive the sharded PTDR serving tier through 0.5x/1x/2x offered load",
+        flags: &[
+            FlagDoc {
+                name: "--shards",
+                value: "<n>",
+                help: "edge shard count on the consistent-hash ring (default 4)",
+            },
+            FlagDoc {
+                name: "--duration",
+                value: "<s>",
+                help: "virtual seconds of open-loop load per offered-load point; \
+                       one diurnal day is compressed into the window \
+                       (default 0.2)",
+            },
+            FlagDoc {
+                name: "--queue-depth",
+                value: "<n>",
+                help: "bounded admission queue per shard; arrivals beyond it are \
+                       load-shed (default 64)",
+            },
+            FlagDoc {
+                name: "--policy",
+                value: "<p>",
+                help: "shedding policy once a queue fills: reject-new or \
+                       shed-oldest (default reject-new)",
+            },
+        ],
+        records: false,
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "stats",
+        synopsis: "[--format table|openmetrics|json] <snapshot.json>...",
+        summary: "merge metrics snapshots and render them offline",
+        flags: &[FlagDoc {
+            name: "--format",
+            value: "<f>",
+            help: "stats output format: table (default), openmetrics or json",
+        }],
+        records: false,
+        run: cmd_stats,
+    },
+];
+
+/// Renders the full help text from [`GLOBAL_FLAGS`] and [`COMMANDS`].
+fn usage_text() -> String {
+    let mut out = String::from(
+        "usage:\n  everestc [--trace <out.json>] [--metrics <path>] [--flight <path>]\n           \
+         [--jobs <n>] <command> [options] <args>\n  everestc help | --help | -h\n  everestc \
+         --version | -V\n\ncommands:\n",
+    );
+    for cmd in COMMANDS {
+        out.push_str(&format!("  {} {}\n      {}\n", cmd.name, cmd.synopsis, cmd.summary));
+    }
+    out.push_str("\nglobal options:\n");
+    for flag in GLOBAL_FLAGS {
+        out.push_str(&format!("  {} {}\n      {}\n", flag.name, flag.value, flag.help));
+    }
+    out.push_str("\ncommand options:\n");
+    for cmd in COMMANDS.iter().filter(|c| !c.flags.is_empty()) {
+        out.push_str(&format!("  {}:\n", cmd.name));
+        for flag in cmd.flags {
+            let head = format!("{} {}", flag.name, flag.value);
+            out.push_str(&format!("    {:<22} {}\n", head.trim_end(), flag.help));
+        }
+    }
+    out
+}
 
 fn usage() -> u8 {
-    eprintln!("{USAGE}");
+    eprintln!("{}", usage_text());
     2
 }
 
@@ -192,6 +426,28 @@ fn extract_count_flag(args: &mut Vec<String>, flag: &str, default: usize) -> Res
     }
 }
 
+/// Extracts a `--flag <n>` / `--flag=<n>` unsigned seed, valid in any
+/// position of the subcommand's argument list.
+fn extract_seed_flag(args: &mut Vec<String>, default: u64) -> Result<u64, String> {
+    match extract_value_flag(args, "--seed")? {
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("--seed requires an unsigned integer, got '{raw}'")),
+        None => Ok(default),
+    }
+}
+
+/// Extracts a presence-only `--flag`, valid in any position.
+fn extract_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_path = match extract_trace_flag(&mut args) {
@@ -228,7 +484,7 @@ fn main() -> ExitCode {
     };
     match cmd {
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{}", usage_text());
             return ExitCode::SUCCESS;
         }
         "--version" | "-V" => {
@@ -237,9 +493,12 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == cmd) else {
+        return ExitCode::from(usage());
+    };
 
-    // `profile` always records; `--trace` opts any subcommand in.
-    let recording = trace_path.is_some() || cmd == "profile";
+    // Recording subcommands always record; `--trace` opts any in.
+    let recording = trace_path.is_some() || spec.records;
     if recording {
         everest_telemetry::install_global(Tracer::recording());
         everest_telemetry::metrics().reset();
@@ -250,7 +509,8 @@ fn main() -> ExitCode {
         everest_telemetry::metrics().reset();
     }
 
-    let result = run(cmd, rest, jobs);
+    let ctx = Ctx { jobs };
+    let result = (spec.run)(&ctx, rest.to_vec());
 
     let spans = everest_telemetry::take_global().finish();
     if let Some(path) = &trace_path {
@@ -297,7 +557,7 @@ fn main() -> ExitCode {
 
     match result {
         Ok(code) => {
-            if cmd == "profile" && code == 0 {
+            if spec.records && code == 0 {
                 print!("{}", flame_summary(&spans));
                 print_counters();
             }
@@ -326,158 +586,260 @@ fn read(path: &str) -> Result<String, Box<dyn std::error::Error>> {
     Ok(std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?)
 }
 
-fn run(cmd: &str, rest: &[String], jobs: usize) -> Result<u8, Box<dyn std::error::Error>> {
-    let sdk = Sdk::builder().jobs(jobs).build();
-    match (cmd, rest) {
-        ("ir", [path]) => {
-            let source = read(path)?;
-            let module = everest::dsl::compile_kernels(&source)?;
-            print!("{}", module.to_text());
-            Ok(0)
-        }
-        ("variants", [path]) => {
-            let source = read(path)?;
-            let compiled = sdk.compile(&source)?;
-            for kernel in &compiled.kernels {
-                println!("kernel {} — {} variants:", kernel.name, kernel.variants.len());
-                for v in &kernel.variants {
-                    println!(
-                        "  {:<16} target={:<9} total={:>10.2} us  energy={:>9.4} mJ  luts={}",
-                        v.id,
-                        v.target().to_string(),
-                        v.metrics.total_us(),
-                        v.metrics.energy_mj,
-                        v.metrics.area_luts
-                    );
-                }
-                let front = kernel.pareto_front();
-                let ids: Vec<&str> = front.iter().map(|v| v.id.as_str()).collect();
-                println!("  pareto: {}", ids.join(", "));
-            }
-            Ok(0)
-        }
-        ("rtl", [path, kernel]) => {
-            let source = read(path)?;
-            let acc = sdk.synthesize_kernel(&source, kernel)?;
-            eprintln!(
-                "// {}: {} cycles @ {} MHz, II={}, pe={}, area: {}",
-                acc.name, acc.latency_cycles, acc.clock_mhz, acc.innermost_ii, acc.pe, acc.area
-            );
-            print!("{}", acc.rtl);
-            Ok(0)
-        }
-        ("workflow", [path]) => {
-            let source = read(path)?;
-            let spec = everest::dsl::WorkflowSpec::parse(&source)?;
-            println!("workflow {} — {} steps", spec.name, spec.steps.len());
-            let module = spec.to_ir()?;
-            print!("{}", module.to_text());
-            let graph = everest::task_graph_from_workflow(&spec, |_| (1_000.0, 10_000));
-            println!(
-                "// task graph: {} tasks, critical path {:.1} ms (unit costs)",
-                graph.len(),
-                graph.critical_path_us() / 1e3
-            );
-            Ok(0)
-        }
-        ("check", rest) => {
-            let mut rest: Vec<String> = rest.to_vec();
-            let format =
-                extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "text".into());
-            if format != "text" && format != "json" {
-                return Err(format!("--format must be 'text' or 'json', got '{format}'").into());
-            }
-            if rest.is_empty() {
-                return Ok(usage());
-            }
-            run_check(&sdk, &rest, &format)
-        }
-        ("profile", [path]) => {
-            let source = read(path)?;
-            let compiled = sdk.compile(&source)?;
-            let variants: usize = compiled.kernels.iter().map(|k| k.variants.len()).sum();
-            let pareto: usize = compiled.kernels.iter().map(|k| k.pareto_front().len()).sum();
-            println!(
-                "profiled {} kernels: {} variants ({} pareto-optimal)\n",
-                compiled.kernels.len(),
-                variants,
-                pareto
-            );
-            // The flame table is printed by main() after the tracer is
-            // drained, so the compile spans above are all captured.
-            Ok(0)
-        }
-        ("route", rest) => {
-            let mut rest: Vec<String> = rest.to_vec();
-            let queries = extract_count_flag(&mut rest, "--queries", 256)?;
-            let samples = extract_count_flag(&mut rest, "--samples", 1_000)?;
-            if !rest.is_empty() {
-                return Ok(usage());
-            }
-            run_route(queries, samples, jobs)
-        }
-        ("offload", rest) => {
-            let mut rest: Vec<String> = rest.to_vec();
-            let seed = match extract_value_flag(&mut rest, "--seed")? {
-                Some(raw) => raw
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed requires an unsigned integer, got '{raw}'"))?,
-                None => 7,
-            };
-            let profile =
-                extract_value_flag(&mut rest, "--fault-profile")?.unwrap_or_else(|| "lossy".into());
-            let calls = extract_count_flag(&mut rest, "--calls", 32)?;
-            if !rest.is_empty() {
-                return Ok(usage());
-            }
-            run_offload(&profile, seed, calls, jobs)
-        }
-        ("serve", rest) => {
-            let mut rest: Vec<String> = rest.to_vec();
-            let shards = extract_count_flag(&mut rest, "--shards", 4)?;
-            let queue_depth = extract_count_flag(&mut rest, "--queue-depth", 64)?;
-            let max_queries = extract_count_flag(&mut rest, "--queries", 50_000)?;
-            let seed = match extract_value_flag(&mut rest, "--seed")? {
-                Some(raw) => raw
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed requires an unsigned integer, got '{raw}'"))?,
-                None => 7,
-            };
-            let duration_s = match extract_value_flag(&mut rest, "--duration")? {
-                Some(raw) => match raw.parse::<f64>() {
-                    Ok(s) if s > 0.0 && s.is_finite() => s,
-                    _ => {
-                        return Err(
-                            format!("--duration requires positive seconds, got '{raw}'").into()
-                        )
-                    }
-                },
-                None => 0.2,
-            };
-            let policy =
-                extract_value_flag(&mut rest, "--policy")?.unwrap_or_else(|| "reject-new".into());
-            if !rest.is_empty() {
-                return Ok(usage());
-            }
-            run_serve(shards, duration_s, queue_depth, &policy, seed, max_queries, jobs)
-        }
-        ("stats", rest) => {
-            let mut rest: Vec<String> = rest.to_vec();
-            let format =
-                extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "table".into());
-            if !["table", "openmetrics", "json"].contains(&format.as_str()) {
-                return Err(format!(
-                    "--format must be 'table', 'openmetrics' or 'json', got '{format}'"
-                )
-                .into());
-            }
-            if rest.is_empty() {
-                return Ok(usage());
-            }
-            run_stats(&rest, &format)
-        }
-        _ => Ok(usage()),
+fn cmd_ir(ctx: &Ctx, rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let _ = ctx;
+    let [path] = rest.as_slice() else {
+        return Ok(usage());
+    };
+    let source = read(path)?;
+    let module = everest::dsl::compile_kernels(&source)?;
+    print!("{}", module.to_text());
+    Ok(0)
+}
+
+fn cmd_variants(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let surrogate = extract_bool_flag(&mut rest, "--surrogate");
+    let margin = match extract_value_flag(&mut rest, "--margin")? {
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(f) if (0.0..1.0).contains(&f) => Some(f),
+            _ => return Err(format!("--margin requires a fraction in [0, 1), got '{raw}'").into()),
+        },
+        None => None,
+    };
+    if margin.is_some() && !surrogate {
+        return Err("--margin only applies with --surrogate".into());
     }
+    let [path] = rest.as_slice() else {
+        return Ok(usage());
+    };
+    let source = read(path)?;
+    let mut builder = Sdk::builder().jobs(ctx.jobs);
+    if surrogate {
+        let mut cfg = PruneConfig::default();
+        if let Some(m) = margin {
+            cfg.margin = m;
+        }
+        builder = builder.surrogate(cfg);
+    }
+    let compiled = builder.build().compile(&source)?;
+    for kernel in &compiled.kernels {
+        println!("kernel {} — {} variants:", kernel.name, kernel.variants.len());
+        for v in &kernel.variants {
+            println!(
+                "  {:<16} target={:<9} total={:>10.2} us  energy={:>9.4} mJ  luts={}",
+                v.id,
+                v.target().to_string(),
+                v.metrics.total_us(),
+                v.metrics.energy_mj,
+                v.metrics.area_luts
+            );
+        }
+        let front = kernel.pareto_front();
+        let ids: Vec<&str> = front.iter().map(|v| v.id.as_str()).collect();
+        println!("  pareto: {}", ids.join(", "));
+    }
+    if let Some(report) = &compiled.explore {
+        if report.fallback {
+            println!(
+                "surrogate: fell back to exhaustive exploration ({} points, val mape {:.3})",
+                report.points, report.val_mape
+            );
+        } else {
+            println!(
+                "surrogate: trained {}, predicted {}, exact {}, pruned {} (val mape {:.3})",
+                report.train, report.predicted, report.exact, report.pruned, report.val_mape
+            );
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_rtl(ctx: &Ctx, rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let [path, kernel] = rest.as_slice() else {
+        return Ok(usage());
+    };
+    let source = read(path)?;
+    let sdk = Sdk::builder().jobs(ctx.jobs).build();
+    let acc = sdk.synthesize_kernel(&source, kernel)?;
+    eprintln!(
+        "// {}: {} cycles @ {} MHz, II={}, pe={}, area: {}",
+        acc.name, acc.latency_cycles, acc.clock_mhz, acc.innermost_ii, acc.pe, acc.area
+    );
+    print!("{}", acc.rtl);
+    Ok(0)
+}
+
+fn cmd_workflow(ctx: &Ctx, rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let _ = ctx;
+    let [path] = rest.as_slice() else {
+        return Ok(usage());
+    };
+    let source = read(path)?;
+    let spec = everest::dsl::WorkflowSpec::parse(&source)?;
+    println!("workflow {} — {} steps", spec.name, spec.steps.len());
+    let module = spec.to_ir()?;
+    print!("{}", module.to_text());
+    let graph = everest::task_graph_from_workflow(&spec, |_| (1_000.0, 10_000));
+    println!(
+        "// task graph: {} tasks, critical path {:.1} ms (unit costs)",
+        graph.len(),
+        graph.critical_path_us() / 1e3
+    );
+    Ok(0)
+}
+
+fn cmd_check(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let format = extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "text".into());
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be 'text' or 'json', got '{format}'").into());
+    }
+    if rest.is_empty() {
+        return Ok(usage());
+    }
+    let sdk = Sdk::builder().jobs(ctx.jobs).build();
+    run_check(&sdk, &rest, &format)
+}
+
+fn cmd_profile(ctx: &Ctx, rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let [path] = rest.as_slice() else {
+        return Ok(usage());
+    };
+    let source = read(path)?;
+    let sdk = Sdk::builder().jobs(ctx.jobs).build();
+    let compiled = sdk.compile(&source)?;
+    let variants: usize = compiled.kernels.iter().map(|k| k.variants.len()).sum();
+    let pareto: usize = compiled.kernels.iter().map(|k| k.pareto_front().len()).sum();
+    println!(
+        "profiled {} kernels: {} variants ({} pareto-optimal)\n",
+        compiled.kernels.len(),
+        variants,
+        pareto
+    );
+    // The flame table is printed by main() after the tracer is drained,
+    // so the compile spans above are all captured.
+    Ok(0)
+}
+
+/// The embedded kernel corpus `everestc dataset` samples when no
+/// `--kernels` file is given: four structurally distinct kernels (dense
+/// matmul, stencil, streaming triad, pointwise scale) so the produced
+/// table spans compute-bound and memory-bound shapes.
+const DATASET_CORPUS: &str = "
+    kernel gemm(a: tensor<16x16xf64>, b: tensor<16x16xf64>) -> tensor<16x16xf64> {
+        return a @ b;
+    }
+    kernel smooth(x: tensor<64xf64>) -> tensor<64xf64> {
+        return stencil(x, [0.25, 0.5, 0.25]);
+    }
+    kernel axpy(a: tensor<64xf64>, b: tensor<64xf64>) -> tensor<64xf64> {
+        return 2.0 * a + b;
+    }
+    kernel scale(x: tensor<32x32xf64>) -> tensor<32x32xf64> {
+        return 3.0 * x;
+    }
+";
+
+fn cmd_dataset(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    use everest::variants::{DatasetConfig, SurrogateModel};
+
+    let seed = extract_seed_flag(&mut rest, 7)?;
+    let points = extract_count_flag(&mut rest, "--points", 256)?;
+    let kernels_path = extract_value_flag(&mut rest, "--kernels")?;
+    let out_path = extract_value_flag(&mut rest, "--out")?;
+    let model_path = extract_value_flag(&mut rest, "--model")?;
+    if !rest.is_empty() {
+        return Ok(usage());
+    }
+
+    let source = match &kernels_path {
+        Some(path) => read(path)?,
+        None => DATASET_CORPUS.to_owned(),
+    };
+    let module = everest::dsl::compile_kernels(&source)?;
+    let funcs: Vec<&everest::ir::Func> = module.iter().collect();
+    let cfg = DatasetConfig { seed, points, jobs: ctx.jobs, ..DatasetConfig::default() };
+    let dataset = everest::variants::dataset::produce(&funcs, &cfg)?;
+    eprintln!(
+        "dataset: {} rows ({} requested), {} kernels, seed={seed}, jobs={}",
+        dataset.rows.len(),
+        points,
+        funcs.len(),
+        ctx.jobs
+    );
+
+    let csv = dataset.to_csv();
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write '{path}': {e}"))?;
+            eprintln!("dataset: table written to {path}");
+        }
+        None => print!("{csv}"),
+    }
+
+    if let Some(path) = &model_path {
+        let model = SurrogateModel::fit(&dataset, &Default::default());
+        std::fs::write(path, model.to_json()).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!(
+            "model: fit on {} rows, validated on {} (worst mape {:.3}), written to {path}",
+            model.validation.rows_train,
+            model.validation.rows_val,
+            model.validation.worst_mape()
+        );
+    }
+    Ok(0)
+}
+
+fn cmd_route(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let queries = extract_count_flag(&mut rest, "--queries", 256)?;
+    let samples = extract_count_flag(&mut rest, "--samples", 1_000)?;
+    if !rest.is_empty() {
+        return Ok(usage());
+    }
+    run_route(queries, samples, ctx.jobs)
+}
+
+fn cmd_offload(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let seed = extract_seed_flag(&mut rest, 7)?;
+    let profile =
+        extract_value_flag(&mut rest, "--fault-profile")?.unwrap_or_else(|| "lossy".into());
+    let calls = extract_count_flag(&mut rest, "--calls", 32)?;
+    if !rest.is_empty() {
+        return Ok(usage());
+    }
+    run_offload(&profile, seed, calls, ctx.jobs)
+}
+
+fn cmd_serve(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let shards = extract_count_flag(&mut rest, "--shards", 4)?;
+    let queue_depth = extract_count_flag(&mut rest, "--queue-depth", 64)?;
+    let max_queries = extract_count_flag(&mut rest, "--queries", 50_000)?;
+    let seed = extract_seed_flag(&mut rest, 7)?;
+    let duration_s = match extract_value_flag(&mut rest, "--duration")? {
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => s,
+            _ => return Err(format!("--duration requires positive seconds, got '{raw}'").into()),
+        },
+        None => 0.2,
+    };
+    let policy = extract_value_flag(&mut rest, "--policy")?.unwrap_or_else(|| "reject-new".into());
+    if !rest.is_empty() {
+        return Ok(usage());
+    }
+    run_serve(shards, duration_s, queue_depth, &policy, seed, max_queries, ctx.jobs)
+}
+
+fn cmd_stats(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let _ = ctx;
+    let format = extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "table".into());
+    if !["table", "openmetrics", "json"].contains(&format.as_str()) {
+        return Err(
+            format!("--format must be 'table', 'openmetrics' or 'json', got '{format}'").into()
+        );
+    }
+    if rest.is_empty() {
+        return Ok(usage());
+    }
+    run_stats(&rest, &format)
 }
 
 /// `everestc stats`: reloads one or more JSON metrics snapshots (as

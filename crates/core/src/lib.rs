@@ -57,7 +57,9 @@ pub use everest_runtime::offload::{
     FaultKind, FaultPlan, FaultRates, OffloadCall, OffloadManager, OffloadOutcome, TargetClass,
 };
 pub use everest_variants::space::DesignSpace;
-pub use everest_variants::Variant;
+pub use everest_variants::{
+    Dataset, DatasetConfig, ExploreReport, KnobVector, PruneConfig, SurrogateModel, Variant,
+};
 pub use everest_workflow::RunReport;
 
 // Re-export the subsystem crates under stable names.

@@ -126,6 +126,24 @@ pub struct SynthSummary {
 }
 
 impl SynthSummary {
+    /// Stable ordering of the numeric columns [`SynthSummary::targets`]
+    /// emits. The learned-cost-model dataset and serialized surrogates
+    /// index targets by this list, so the order is part of the on-disk
+    /// schema — append, never reorder.
+    pub const TARGET_NAMES: [&'static str; 5] = ["latency_cycles", "luts", "ffs", "dsps", "brams"];
+
+    /// The summary as target columns in [`SynthSummary::TARGET_NAMES`]
+    /// order — what a surrogate cost model learns to predict.
+    pub fn targets(&self) -> [f64; 5] {
+        [
+            self.latency_cycles as f64,
+            self.area.luts as f64,
+            self.area.ffs as f64,
+            self.area.dsps as f64,
+            self.area.brams as f64,
+        ]
+    }
+
     /// Wall-clock execution time of one invocation in microseconds.
     pub fn time_us(&self) -> f64 {
         self.latency_cycles as f64 / self.clock_mhz

@@ -1,16 +1,17 @@
-//! Cost models mapping a variant specification to predicted metrics.
+//! Cost models mapping a design point to predicted metrics.
 //!
 //! Software variants use a roofline model (compute roof vs. bandwidth
 //! roof, adjusted by threading, tiling and layout); hardware variants run
 //! the actual HLS flow from [`everest_hls`] and add the attachment's
-//! transfer cost.
+//! transfer cost. Every entry point takes the typed [`KnobVector`]; the
+//! historical `&[Transform]` entry points survive as deprecated wrappers
+//! for one release.
 
 use crate::analysis::KernelWorkload;
-use crate::transform::{Layout, SpecExt, Target, Transform};
+use crate::knob::KnobVector;
+use crate::transform::{Layout, Target, Transform};
 use crate::variant::Metrics;
 use everest_hls::accel::{synthesize, HlsConfig, SynthSummary};
-use everest_hls::dift::DiftConfig;
-use everest_hls::memory::Scheme;
 use everest_hls::HlsError;
 use everest_ir::Func;
 
@@ -28,59 +29,88 @@ const BUS_BW_GBPS: f64 = 22.0;
 const NET_LAT_US: f64 = 4.0;
 const NET_BW_GBPS: f64 = 1.2;
 
-/// Evaluates one variant specification, synthesizing hardware points
-/// directly (the sequential reference path).
+/// Evaluates one design point, synthesizing hardware points directly
+/// (the sequential reference path).
 ///
 /// # Errors
 ///
 /// Propagates [`HlsError`] from hardware synthesis.
-pub fn evaluate(
+pub fn evaluate_knob(
     func: &Func,
     workload: &KernelWorkload,
-    spec: &[Transform],
+    knob: &KnobVector,
 ) -> Result<Metrics, HlsError> {
-    match spec.target() {
-        Target::Cpu => Ok(software_metrics(workload, spec)),
-        target => hardware_metrics(func, workload, spec, target),
-    }
-}
-
-/// Evaluates one variant specification through the shared
-/// [synthesis cache](everest_hls::cache): hardware points whose
-/// HLS-relevant knobs match an already-synthesized point reuse its
-/// summary instead of re-running synthesis. Metrics are derived from the
-/// same [`SynthSummary`] either way, so the result is bit-identical to
-/// [`evaluate`].
-///
-/// # Errors
-///
-/// Propagates [`HlsError`] from hardware synthesis on a cache miss.
-pub fn evaluate_memo(
-    func: &Func,
-    workload: &KernelWorkload,
-    spec: &[Transform],
-) -> Result<Metrics, HlsError> {
-    match spec.target() {
-        Target::Cpu => Ok(software_metrics(workload, spec)),
-        target => {
-            let summary = everest_hls::cache::synthesize_cached(func, &hls_config(spec))?;
-            Ok(metrics_from_summary(&summary, workload, target))
+    match knob {
+        KnobVector::Software { .. } => Ok(software_metrics_knob(workload, knob)),
+        KnobVector::Hardware { target, .. } => {
+            let summary = synthesize(func, &knob.hls_config())?.summary();
+            Ok(metrics_from_summary(&summary, workload, *target))
         }
     }
 }
 
-/// Roofline software model.
-pub fn software_metrics(workload: &KernelWorkload, spec: &[Transform]) -> Metrics {
-    let threads = spec.threads().clamp(1, MAX_CORES);
+/// Evaluates one design point through the shared
+/// [synthesis cache](everest_hls::cache): hardware points whose
+/// HLS-relevant knobs match an already-synthesized point reuse its
+/// summary instead of re-running synthesis. Metrics are derived from the
+/// same [`SynthSummary`] either way, so the result is bit-identical to
+/// [`evaluate_knob`].
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from hardware synthesis on a cache miss.
+pub fn evaluate_knob_memo(
+    func: &Func,
+    workload: &KernelWorkload,
+    knob: &KnobVector,
+) -> Result<Metrics, HlsError> {
+    match knob {
+        KnobVector::Software { .. } => Ok(software_metrics_knob(workload, knob)),
+        KnobVector::Hardware { target, .. } => {
+            let summary = everest_hls::cache::synthesize_cached(func, &knob.hls_config())?;
+            Ok(metrics_from_summary(&summary, workload, *target))
+        }
+    }
+}
+
+/// The synthesis summary of a hardware point, through the memo cache or
+/// directly (both yield bit-identical summaries). Software points are a
+/// caller bug.
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from synthesis.
+pub(crate) fn summarize_hardware(
+    func: &Func,
+    knob: &KnobVector,
+    memoize: bool,
+) -> Result<SynthSummary, HlsError> {
+    debug_assert!(knob.is_hardware(), "software points have no synthesis summary");
+    if memoize {
+        everest_hls::cache::synthesize_cached(func, &knob.hls_config())
+    } else {
+        Ok(synthesize(func, &knob.hls_config())?.summary())
+    }
+}
+
+/// Roofline software model over the typed knobs.
+pub fn software_metrics_knob(workload: &KernelWorkload, knob: &KnobVector) -> Metrics {
+    let (threads, layout, tile) = match *knob {
+        KnobVector::Software { threads, layout, tile } => (threads, layout, tile),
+        // A hardware point run on the CPU fallback path: bare reference
+        // settings.
+        KnobVector::Hardware { .. } => (1, Layout::Aos, None),
+    };
+    let threads = threads.clamp(1, MAX_CORES);
     let parallel_eff = if threads > 1 { 0.7 } else { 1.0 };
     // Tiling improves cache reuse for large, compute-dense kernels.
-    let tile_boost = match spec.tile() {
+    let tile_boost = match tile {
         Some(_) if workload.intensity() > 4.0 && workload.max_dim >= 32 => 1.4,
         Some(_) => 1.0,
         None => 1.0,
     };
     // SoA streams better for bandwidth-bound kernels.
-    let layout_bw = match spec.layout() {
+    let layout_bw = match layout {
         Layout::Soa => 1.3,
         Layout::Aos => 1.0,
     };
@@ -93,26 +123,12 @@ pub fn software_metrics(workload: &KernelWorkload, spec: &[Transform]) -> Metric
     Metrics { latency_us, transfer_us: 0.0, energy_mj, area_luts: 0, area_brams: 0 }
 }
 
-/// The HLS configuration a hardware variant specification selects. Note
-/// that software knobs (threads, layout, tile) and the attachment target
-/// never reach the configuration — variants differing only in those share
-/// a synthesis result.
-pub fn hls_config(spec: &[Transform]) -> HlsConfig {
-    HlsConfig {
-        banks: spec.banks(),
-        pipeline: spec.pipelined(),
-        scheme: Scheme::Cyclic,
-        pe: spec.pe(),
-        // Each PE needs its own port: banks scale with the PE count.
-        ports_per_bank: 2,
-        dift: spec.dift().then(DiftConfig::default),
-        ..HlsConfig::default()
-    }
-}
-
 /// Derives variant metrics from a synthesis summary plus the
-/// attachment's transfer cost.
-fn metrics_from_summary(
+/// attachment's transfer cost. This is the single bridge from the
+/// synthesis domain (cycles, LUTs) to the DSE objective domain
+/// (time, energy, area) — the surrogate's predicted summaries go through
+/// the same function as exact ones.
+pub(crate) fn metrics_from_summary(
     summary: &SynthSummary,
     workload: &KernelWorkload,
     target: Target,
@@ -133,14 +149,47 @@ fn metrics_from_summary(
     }
 }
 
-fn hardware_metrics(
+/// Evaluates one variant specification (deprecated transform-list entry
+/// point).
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from hardware synthesis.
+#[deprecated(since = "0.1.0", note = "pass a typed KnobVector to evaluate_knob instead")]
+pub fn evaluate(
     func: &Func,
     workload: &KernelWorkload,
     spec: &[Transform],
-    target: Target,
 ) -> Result<Metrics, HlsError> {
-    let summary = synthesize(func, &hls_config(spec))?.summary();
-    Ok(metrics_from_summary(&summary, workload, target))
+    evaluate_knob(func, workload, &KnobVector::from_spec(spec))
+}
+
+/// Memoized evaluation of one variant specification (deprecated
+/// transform-list entry point).
+///
+/// # Errors
+///
+/// Propagates [`HlsError`] from hardware synthesis on a cache miss.
+#[deprecated(since = "0.1.0", note = "pass a typed KnobVector to evaluate_knob_memo instead")]
+pub fn evaluate_memo(
+    func: &Func,
+    workload: &KernelWorkload,
+    spec: &[Transform],
+) -> Result<Metrics, HlsError> {
+    evaluate_knob_memo(func, workload, &KnobVector::from_spec(spec))
+}
+
+/// Roofline software model (deprecated transform-list entry point).
+#[deprecated(since = "0.1.0", note = "pass a typed KnobVector to software_metrics_knob instead")]
+pub fn software_metrics(workload: &KernelWorkload, spec: &[Transform]) -> Metrics {
+    software_metrics_knob(workload, &KnobVector::from_spec(spec))
+}
+
+/// The HLS configuration a variant specification selects (deprecated:
+/// derive it from the typed knobs with [`KnobVector::hls_config`]).
+#[deprecated(since = "0.1.0", note = "use KnobVector::hls_config instead")]
+pub fn hls_config(spec: &[Transform]) -> HlsConfig {
+    KnobVector::from_spec(spec).hls_config()
 }
 
 #[cfg(test)]
@@ -156,20 +205,28 @@ mod tests {
         m.func("mm").unwrap().clone()
     }
 
+    fn sw(threads: u32, layout: Layout, tile: Option<usize>) -> KnobVector {
+        KnobVector::Software { threads, layout, tile }
+    }
+
+    fn hw(target: Target, dift: bool) -> KnobVector {
+        KnobVector::Hardware { target, banks: 4, pe: 8, pipeline: true, dift }
+    }
+
     #[test]
     fn more_threads_reduce_compute_bound_latency() {
         let f = mm_kernel(64);
         let w = analyze(&f);
-        let t1 = software_metrics(&w, &[Transform::Threads(1)]);
-        let t8 = software_metrics(&w, &[Transform::Threads(8)]);
+        let t1 = software_metrics_knob(&w, &sw(1, Layout::Aos, None));
+        let t8 = software_metrics_knob(&w, &sw(8, Layout::Aos, None));
         assert!(t8.latency_us < t1.latency_us);
     }
 
     #[test]
     fn tiling_helps_only_dense_kernels() {
         let mm = analyze(&mm_kernel(64));
-        let tiled = software_metrics(&mm, &[Transform::Tile(32)]);
-        let flat = software_metrics(&mm, &[]);
+        let tiled = software_metrics_knob(&mm, &sw(1, Layout::Aos, Some(32)));
+        let flat = software_metrics_knob(&mm, &sw(1, Layout::Aos, None));
         assert!(tiled.latency_us < flat.latency_us);
 
         // A bandwidth-bound axpy gains nothing from tiling.
@@ -178,8 +235,8 @@ mod tests {
         )
         .unwrap();
         let ax = analyze(m.func("ax").unwrap());
-        let tiled = software_metrics(&ax, &[Transform::Tile(32)]);
-        let flat = software_metrics(&ax, &[]);
+        let tiled = software_metrics_knob(&ax, &sw(1, Layout::Aos, Some(32)));
+        let flat = software_metrics_knob(&ax, &sw(1, Layout::Aos, None));
         assert_eq!(tiled.latency_us, flat.latency_us);
     }
 
@@ -190,8 +247,8 @@ mod tests {
         )
         .unwrap();
         let w = analyze(m.func("ax").unwrap());
-        let soa = software_metrics(&w, &[Transform::DataLayout(Layout::Soa)]);
-        let aos = software_metrics(&w, &[Transform::DataLayout(Layout::Aos)]);
+        let soa = software_metrics_knob(&w, &sw(1, Layout::Soa, None));
+        let aos = software_metrics_knob(&w, &sw(1, Layout::Aos, None));
         assert!(soa.latency_us <= aos.latency_us);
     }
 
@@ -199,7 +256,7 @@ mod tests {
     fn hardware_variants_carry_area() {
         let f = mm_kernel(16);
         let w = analyze(&f);
-        let m = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
+        let m = evaluate_knob(&f, &w, &hw(Target::FpgaBus, false)).unwrap();
         assert!(m.area_luts > 0);
         assert!(m.transfer_us > 0.0);
     }
@@ -208,8 +265,8 @@ mod tests {
     fn network_attachment_pays_more_transfer_than_bus() {
         let f = mm_kernel(16);
         let w = analyze(&f);
-        let bus = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
-        let net = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaNetwork)]).unwrap();
+        let bus = evaluate_knob(&f, &w, &hw(Target::FpgaBus, false)).unwrap();
+        let net = evaluate_knob(&f, &w, &hw(Target::FpgaNetwork, false)).unwrap();
         assert!(net.transfer_us > bus.transfer_us);
         assert_eq!(net.latency_us, bus.latency_us); // same synthesized kernel
     }
@@ -218,9 +275,18 @@ mod tests {
     fn dift_variant_costs_more_area() {
         let f = mm_kernel(16);
         let w = analyze(&f);
-        let plain = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus)]).unwrap();
-        let hard = evaluate(&f, &w, &[Transform::OnTarget(Target::FpgaBus), Transform::Dift(true)])
-            .unwrap();
+        let plain = evaluate_knob(&f, &w, &hw(Target::FpgaBus, false)).unwrap();
+        let hard = evaluate_knob(&f, &w, &hw(Target::FpgaBus, true)).unwrap();
         assert!(hard.area_luts > plain.area_luts);
+    }
+
+    #[test]
+    fn memoized_and_direct_paths_agree() {
+        let f = mm_kernel(16);
+        let w = analyze(&f);
+        let knob = hw(Target::FpgaBus, false);
+        let direct = evaluate_knob(&f, &w, &knob).unwrap();
+        let memo = evaluate_knob_memo(&f, &w, &knob).unwrap();
+        assert_eq!(direct, memo, "memoized metrics must be bit-identical to direct synthesis");
     }
 }

@@ -11,9 +11,17 @@
 //!   tiling, FPGA offload, banking, pipelining, DIFT hardening);
 //! * [`cost`] — software (roofline-style) and hardware (via
 //!   [`everest_hls`]) cost models;
+//! * [`knob`] — the typed [`KnobVector`] design point shared by
+//!   enumeration, memoization and the surrogate feature encoder;
 //! * [`space`] — design-space enumeration and validation;
 //! * [`pareto`] — O(n log n) Pareto-front filtering over (latency,
-//!   energy, area);
+//!   energy, area), plus exact [`pareto::hypervolume`];
+//! * [`dataset`] — mass production of seed-reproducible HLS training
+//!   tables (`everestc dataset`);
+//! * [`model`] — pure-Rust learned cost models (gradient-boosted stumps
+//!   with a ridge baseline) trained on those tables;
+//! * [`explore`] — surrogate-pruned exploration: predict everything,
+//!   synthesize only near the predicted Pareto front;
 //! * [`error`] — the [`VariantError`] DSE failure type;
 //! * [`variant`] — the [`variant::Variant`] records, serializable as the
 //!   "meta-information about the variants ... provided to the runtime".
@@ -33,14 +41,22 @@
 
 pub mod analysis;
 pub mod cost;
+pub mod dataset;
 pub mod error;
+pub mod explore;
+pub mod knob;
+pub mod model;
 pub mod pareto;
 pub mod space;
 pub mod transform;
 pub mod variant;
 
 pub use analysis::KernelWorkload;
+pub use dataset::{Dataset, DatasetConfig, KnobDomains};
 pub use error::{VariantError, VariantResult};
+pub use explore::{generate_all_pruned, ExploreReport, PruneConfig};
+pub use knob::{KnobVector, KERNEL_FEATURES, KNOB_FEATURES};
+pub use model::{FitConfig, SurrogateModel};
 pub use transform::{Layout, Target, Transform};
 pub use variant::{Metrics, Variant};
 
@@ -100,8 +116,8 @@ pub fn generate_all(
     jobs: usize,
 ) -> VariantResult<Vec<Vec<Variant>>> {
     space.validate()?;
-    let specs = space.enumerate();
-    let points = specs.len();
+    let knobs = space.enumerate_knobs();
+    let points = knobs.len();
     let mut dse_span = everest_telemetry::span("dse.evaluate", "variants");
     dse_span.attr("kernels", funcs.len());
     dse_span.attr("points", points * funcs.len());
@@ -113,9 +129,9 @@ pub fn generate_all(
     let memoize = jobs >= 2;
     let evaluated = pool::parallel_map("dse.worker", jobs, items, |_, (k, i)| {
         if memoize {
-            cost::evaluate_memo(funcs[k], &workloads[k], &specs[i])
+            cost::evaluate_knob_memo(funcs[k], &workloads[k], &knobs[i])
         } else {
-            cost::evaluate(funcs[k], &workloads[k], &specs[i])
+            cost::evaluate_knob(funcs[k], &workloads[k], &knobs[i])
         }
     });
 
@@ -126,12 +142,12 @@ pub fn generate_all(
         span.attr("kernel", &func.name);
         span.attr("space", points);
         let mut variants = Vec::with_capacity(points);
-        for (i, spec) in specs.iter().enumerate() {
+        for (i, knob) in knobs.iter().enumerate() {
             let metrics = results.next().expect("one result per point")?;
             variants.push(Variant {
                 id: format!("{}#{}", func.name, i),
                 kernel: func.name.clone(),
-                transforms: spec.clone(),
+                transforms: knob.to_transforms(),
                 metrics,
             });
         }

@@ -1,0 +1,536 @@
+//! Learned HLS cost models: small, pure-Rust surrogates trained on
+//! [`crate::dataset`] tables.
+//!
+//! Two regressors are fit per target column:
+//!
+//! * a **ridge** linear baseline (closed-form normal equations over
+//!   standardized features), and
+//! * **gradient-boosted stumps** — depth-1 regression trees fit to
+//!   residuals, the workhorse for the stepwise, saturating response
+//!   surfaces HLS produces (latency vs PE count plateaus at the port
+//!   limit, area jumps at bank boundaries).
+//!
+//! Whichever validates better on the held-out rows serves predictions
+//! for that target. Everything is deterministic: the train/validation
+//! split is a fixed index stride, stump search scans features in
+//! declaration order with first-wins tie-breaks, and no RNG is involved
+//! anywhere — so a fit is a pure function of the dataset bytes, and
+//! re-fitting on another machine (or at another `--jobs` count) yields a
+//! bit-identical model. Models serialize to JSON for shipping alongside
+//! the dataset.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration. The defaults fit in well under a millisecond
+/// on dataset sizes the factory produces and are used everywhere unless
+/// a caller is experimenting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitConfig {
+    /// Boosting rounds (stumps per target).
+    pub rounds: usize,
+    /// Shrinkage applied to each stump's contribution.
+    pub learning_rate: f64,
+    /// Minimum samples on each side of a stump split.
+    pub min_leaf: usize,
+    /// Ridge regularization strength.
+    pub lambda: f64,
+    /// Every `val_stride`-th row is held out for validation (0 or 1
+    /// disables the holdout; validation error is then reported as 0).
+    pub val_stride: usize,
+    /// Fit on `ln(1 + y)` instead of raw targets. HLS targets span four
+    /// orders of magnitude, so relative error is the natural loss.
+    pub log_targets: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> FitConfig {
+        FitConfig {
+            rounds: 96,
+            learning_rate: 0.25,
+            min_leaf: 2,
+            lambda: 1e-3,
+            val_stride: 5,
+            log_targets: true,
+        }
+    }
+}
+
+/// One depth-1 regression tree: `x[feature] <= threshold ? left : right`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stump {
+    feature: usize,
+    threshold: f64,
+    left: f64,
+    right: f64,
+}
+
+/// A gradient-boosted ensemble of stumps for one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbt {
+    base: f64,
+    learning_rate: f64,
+    stumps: Vec<Stump>,
+}
+
+impl Gbt {
+    /// Fits `rounds` stumps to the residuals of `ys`, deterministically.
+    fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &FitConfig) -> Gbt {
+        let n = ys.len();
+        let base = if n == 0 { 0.0 } else { ys.iter().sum::<f64>() / n as f64 };
+        let mut residual: Vec<f64> = ys.iter().map(|y| y - base).collect();
+        let mut stumps = Vec::with_capacity(cfg.rounds);
+        let dims = xs.first().map_or(0, Vec::len);
+
+        // Per-feature sorted row orders are fixed across rounds; compute
+        // them once. Sorting is by total_cmp then row index, so ties are
+        // broken identically on every machine.
+        let orders: Vec<Vec<usize>> = (0..dims)
+            .map(|d| {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| xs[a][d].total_cmp(&xs[b][d]).then(a.cmp(&b)));
+                order
+            })
+            .collect();
+
+        for _ in 0..cfg.rounds {
+            let Some(stump) = best_stump(xs, &residual, &orders, cfg.min_leaf) else {
+                break;
+            };
+            for (i, r) in residual.iter_mut().enumerate() {
+                *r -= cfg.learning_rate * stump.apply(&xs[i]);
+            }
+            stumps.push(stump);
+        }
+        Gbt { base, learning_rate: cfg.learning_rate, stumps }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base + self.stumps.iter().map(|s| self.learning_rate * s.apply(x)).sum::<f64>()
+    }
+}
+
+impl Stump {
+    fn apply(&self, x: &[f64]) -> f64 {
+        if x[self.feature] <= self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+}
+
+/// The least-squares-optimal stump over all (feature, threshold) splits,
+/// scanning features in order and thresholds in ascending order with
+/// strict first-wins tie-breaking (`<`, not `<=`), so the result is
+/// independent of everything but the data.
+fn best_stump(
+    xs: &[Vec<f64>],
+    residual: &[f64],
+    orders: &[Vec<usize>],
+    min_leaf: usize,
+) -> Option<Stump> {
+    let n = residual.len();
+    if n < min_leaf.max(1) * 2 {
+        return None;
+    }
+    let total: f64 = residual.iter().sum();
+    let mut best: Option<(f64, Stump)> = None;
+    for (feature, order) in orders.iter().enumerate() {
+        let mut left_sum = 0.0;
+        let mut left_n = 0usize;
+        for w in order.windows(2) {
+            left_sum += residual[w[0]];
+            left_n += 1;
+            // Only split between distinct feature values.
+            if xs[w[0]][feature] == xs[w[1]][feature] {
+                continue;
+            }
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            let right_sum = total - left_sum;
+            // Maximizing sum-of-squares gain == minimizing SSE for a
+            // two-leaf mean predictor.
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64
+                - total * total / n as f64;
+            if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                let threshold = 0.5 * (xs[w[0]][feature] + xs[w[1]][feature]);
+                best = Some((
+                    gain,
+                    Stump {
+                        feature,
+                        threshold,
+                        left: left_sum / left_n as f64,
+                        right: right_sum / right_n as f64,
+                    },
+                ));
+            }
+        }
+    }
+    // A zero-gain split adds nothing; stop boosting.
+    best.filter(|(gain, _)| *gain > 1e-12).map(|(_, stump)| stump)
+}
+
+/// Ridge regression over standardized features (closed form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    intercept: f64,
+    weights: Vec<f64>,
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Ridge {
+    fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Ridge {
+        let n = xs.len();
+        let d = xs.first().map_or(0, Vec::len);
+        let mut mean = vec![0.0; d];
+        let mut scale = vec![1.0; d];
+        if n == 0 {
+            return Ridge { intercept: 0.0, weights: vec![0.0; d], mean, scale };
+        }
+        for x in xs {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        for (j, s) in scale.iter_mut().enumerate() {
+            let var: f64 = xs.iter().map(|x| (x[j] - mean[j]).powi(2)).sum::<f64>() / n as f64;
+            *s = var.sqrt().max(1e-12);
+        }
+        let std_row =
+            |x: &[f64]| -> Vec<f64> { (0..d).map(|j| (x[j] - mean[j]) / scale[j]).collect() };
+
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        // Normal equations A w = b with A = XᵀX + λI, b = Xᵀ(y - ȳ).
+        let mut a = vec![vec![0.0; d]; d];
+        let mut b = vec![0.0; d];
+        for (x, y) in xs.iter().zip(ys) {
+            let z = std_row(x);
+            for j in 0..d {
+                b[j] += z[j] * (y - y_mean);
+                for k in 0..d {
+                    a[j][k] += z[j] * z[k];
+                }
+            }
+        }
+        for (j, row) in a.iter_mut().enumerate() {
+            row[j] += lambda * n as f64;
+        }
+        let weights = solve(a, b);
+        Ridge { intercept: y_mean, weights, mean, scale }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .zip(self.mean.iter().zip(&self.scale))
+                .map(|((w, v), (m, s))| w * (v - m) / s)
+                .sum::<f64>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting; returns the zero vector
+/// for a singular system (all-constant features under heavy collinearity
+/// are regularized away by λ in practice).
+#[allow(clippy::needless_range_loop)] // textbook elimination over two rows of `a`
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let d = b.len();
+    for col in 0..d {
+        let pivot = (col..d)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return vec![0.0; d];
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..d {
+            let f = a[row][col] / a[col][col];
+            for k in col..d {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0; d];
+    for col in (0..d).rev() {
+        let mut acc = b[col];
+        for k in col + 1..d {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = acc / a[col][col];
+    }
+    w
+}
+
+/// Which regressor serves predictions for a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Gradient-boosted stumps.
+    Gbt,
+    /// Ridge linear baseline.
+    Ridge,
+}
+
+/// Held-out validation errors of one fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Rows used for fitting.
+    pub rows_train: usize,
+    /// Rows held out.
+    pub rows_val: usize,
+    /// Mean absolute percentage error per target, for the regressor that
+    /// serves that target.
+    pub mape: Vec<f64>,
+    /// MAPE of the GBT per target (diagnostic).
+    pub mape_gbt: Vec<f64>,
+    /// MAPE of the ridge baseline per target (diagnostic).
+    pub mape_ridge: Vec<f64>,
+}
+
+impl ValidationReport {
+    /// The worst per-target error — the number the DSE driver compares
+    /// against its fallback threshold.
+    pub fn worst_mape(&self) -> f64 {
+        self.mape.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+/// A fitted multi-target surrogate: one GBT + one ridge per target
+/// column, with the better-validating regressor selected per target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateModel {
+    /// Feature column names, in the dataset's stable order.
+    pub feature_names: Vec<String>,
+    /// Target column names, in the dataset's stable order.
+    pub target_names: Vec<String>,
+    log_targets: bool,
+    selected: Vec<ModelKind>,
+    gbt: Vec<Gbt>,
+    ridge: Vec<Ridge>,
+    /// Held-out errors measured during the fit.
+    pub validation: ValidationReport,
+}
+
+impl SurrogateModel {
+    /// Fits the surrogate on a dataset. Deterministic: the same dataset
+    /// and config produce a bit-identical model anywhere.
+    pub fn fit(dataset: &Dataset, cfg: &FitConfig) -> SurrogateModel {
+        let start = std::time::Instant::now();
+        let targets = dataset.target_names.len();
+        let (train, val): (Vec<usize>, Vec<usize>) = if cfg.val_stride >= 2 {
+            (0..dataset.rows.len()).partition(|i| (i + 1) % cfg.val_stride != 0)
+        } else {
+            ((0..dataset.rows.len()).collect(), Vec::new())
+        };
+        let xs: Vec<Vec<f64>> = train.iter().map(|&i| dataset.rows[i].features.clone()).collect();
+        let encode = |y: f64| if cfg.log_targets { y.max(0.0).ln_1p() } else { y };
+
+        let mut gbts = Vec::with_capacity(targets);
+        let mut ridges = Vec::with_capacity(targets);
+        for t in 0..targets {
+            let ys: Vec<f64> = train.iter().map(|&i| encode(dataset.rows[i].targets[t])).collect();
+            gbts.push(Gbt::fit(&xs, &ys, cfg));
+            ridges.push(Ridge::fit(&xs, &ys, cfg.lambda));
+        }
+
+        let decode = |y: f64| if cfg.log_targets { y.exp_m1().max(0.0) } else { y };
+        let mape_of = |predict: &dyn Fn(&[f64], usize) -> f64, t: usize| -> f64 {
+            if val.is_empty() {
+                return 0.0;
+            }
+            let sum: f64 = val
+                .iter()
+                .map(|&i| {
+                    let truth = dataset.rows[i].targets[t];
+                    let pred = decode(predict(&dataset.rows[i].features, t));
+                    (pred - truth).abs() / truth.abs().max(1.0)
+                })
+                .sum();
+            sum / val.len() as f64
+        };
+        let mape_gbt: Vec<f64> =
+            (0..targets).map(|t| mape_of(&|x, t| gbts[t].predict(x), t)).collect();
+        let mape_ridge: Vec<f64> =
+            (0..targets).map(|t| mape_of(&|x, t| ridges[t].predict(x), t)).collect();
+        let selected: Vec<ModelKind> = (0..targets)
+            .map(|t| if mape_gbt[t] <= mape_ridge[t] { ModelKind::Gbt } else { ModelKind::Ridge })
+            .collect();
+        let mape: Vec<f64> = (0..targets)
+            .map(|t| match selected[t] {
+                ModelKind::Gbt => mape_gbt[t],
+                ModelKind::Ridge => mape_ridge[t],
+            })
+            .collect();
+
+        everest_telemetry::metrics()
+            .observe("dse.model.fit_us", start.elapsed().as_secs_f64() * 1e6);
+        SurrogateModel {
+            feature_names: dataset.feature_names.clone(),
+            target_names: dataset.target_names.clone(),
+            log_targets: cfg.log_targets,
+            selected,
+            gbt: gbts,
+            ridge: ridges,
+            validation: ValidationReport {
+                rows_train: train.len(),
+                rows_val: val.len(),
+                mape,
+                mape_gbt,
+                mape_ridge,
+            },
+        }
+    }
+
+    /// Predicts every target for one feature row (in the model's target
+    /// order), timing the call on the `dse.model.predict_us` histogram.
+    pub fn predict(&self, features: &[f64]) -> Vec<f64> {
+        let start = std::time::Instant::now();
+        let decode = |y: f64| if self.log_targets { y.exp_m1().max(0.0) } else { y };
+        let out = self
+            .selected
+            .iter()
+            .enumerate()
+            .map(|(t, kind)| {
+                decode(match kind {
+                    ModelKind::Gbt => self.gbt[t].predict(features),
+                    ModelKind::Ridge => self.ridge[t].predict(features),
+                })
+            })
+            .collect();
+        everest_telemetry::metrics()
+            .observe("dse.model.predict_us", start.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+
+    /// Mean absolute percentage error per target over an arbitrary
+    /// dataset (e.g. a fresh evaluation table).
+    pub fn evaluate(&self, dataset: &Dataset) -> Vec<f64> {
+        let targets = self.target_names.len();
+        let mut err = vec![0.0; targets];
+        if dataset.rows.is_empty() {
+            return err;
+        }
+        for row in &dataset.rows {
+            let pred = self.predict(&row.features);
+            for t in 0..targets {
+                err[t] += (pred[t] - row.targets[t]).abs() / row.targets[t].abs().max(1.0);
+            }
+        }
+        for e in &mut err {
+            *e /= dataset.rows.len() as f64;
+        }
+        err
+    }
+
+    /// Serializes the model to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serializes")
+    }
+
+    /// Parses a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<SurrogateModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetRow};
+    use crate::knob::KnobVector;
+    use crate::transform::Target;
+
+    /// A synthetic dataset with `y = f(x)` over a single active feature.
+    fn synthetic(f: impl Fn(f64) -> f64, n: usize) -> Dataset {
+        let rows = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                DatasetRow {
+                    kernel: "synthetic".into(),
+                    fingerprint: 0,
+                    seed: 0,
+                    index: i,
+                    knob: KnobVector::Hardware {
+                        target: Target::FpgaBus,
+                        banks: 1,
+                        pe: 1,
+                        pipeline: true,
+                        dift: false,
+                    },
+                    features: vec![x, 1.0],
+                    targets: vec![f(x)],
+                }
+            })
+            .collect();
+        Dataset {
+            feature_names: vec!["x".into(), "bias".into()],
+            target_names: vec!["y".into()],
+            rows,
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let data = synthetic(|x| 3.0 * x + 7.0 + (x * 0.7).sin(), 64);
+        let a = SurrogateModel::fit(&data, &FitConfig::default());
+        let b = SurrogateModel::fit(&data, &FitConfig::default());
+        assert_eq!(a.to_json(), b.to_json(), "same data + config must fit bit-identically");
+    }
+
+    #[test]
+    fn gbt_tracks_a_step_function_ridge_cannot() {
+        let cfg = FitConfig { log_targets: false, ..FitConfig::default() };
+        let data = synthetic(|x| if x < 32.0 { 10.0 } else { 500.0 }, 64);
+        let model = SurrogateModel::fit(&data, &cfg);
+        let low = model.predict(&[10.0, 1.0])[0];
+        let high = model.predict(&[50.0, 1.0])[0];
+        assert!(low < 100.0 && high > 400.0, "step not captured: low={low} high={high}");
+    }
+
+    #[test]
+    fn ridge_recovers_a_linear_law() {
+        let data = synthetic(|x| 4.0 * x + 11.0, 40);
+        let cfg = FitConfig { log_targets: false, rounds: 0, ..FitConfig::default() };
+        let model = SurrogateModel::fit(&data, &cfg);
+        // With zero boosting rounds the GBT is a constant, so validation
+        // must select ridge — and ridge should nail an exact linear law.
+        assert_eq!(model.selected, vec![ModelKind::Ridge]);
+        let pred = model.predict(&[100.0, 1.0])[0];
+        assert!((pred - 411.0).abs() < 1.0, "pred={pred}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let data = synthetic(|x| x * x, 48);
+        let model = SurrogateModel::fit(&data, &FitConfig::default());
+        let back = SurrogateModel::from_json(&model.to_json()).unwrap();
+        for x in [0.0, 7.0, 31.5, 60.0] {
+            assert_eq!(model.predict(&[x, 1.0]), back.predict(&[x, 1.0]));
+        }
+    }
+
+    #[test]
+    fn validation_reports_holdout_counts() {
+        let data = synthetic(|x| 2.0 * x, 50);
+        let model = SurrogateModel::fit(&data, &FitConfig::default());
+        assert_eq!(model.validation.rows_train + model.validation.rows_val, 50);
+        assert!(model.validation.rows_val > 0);
+        assert!(model.validation.worst_mape() >= 0.0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Design-space definition and enumeration.
 
 use crate::error::VariantError;
+use crate::knob::KnobVector;
 use crate::transform::{Layout, Target, Transform};
 
 /// The knob domains a design-space exploration sweeps.
@@ -18,6 +19,8 @@ pub struct DesignSpace {
     pub banks: Vec<usize>,
     /// Processing-element counts for hardware points.
     pub pes: Vec<usize>,
+    /// Innermost-loop pipelining options for hardware points.
+    pub pipeline: Vec<bool>,
     /// DIFT hardening options for hardware points.
     pub dift: Vec<bool>,
 }
@@ -31,6 +34,7 @@ impl Default for DesignSpace {
             hw_targets: vec![Target::FpgaBus, Target::FpgaNetwork],
             banks: vec![4, 16],
             pes: vec![8, 32],
+            pipeline: vec![true],
             dift: vec![false],
         }
     }
@@ -46,6 +50,7 @@ impl DesignSpace {
             hw_targets: vec![Target::FpgaBus],
             banks: vec![16],
             pes: vec![32],
+            pipeline: vec![true],
             dift: vec![false],
         }
     }
@@ -56,19 +61,25 @@ impl DesignSpace {
             hw_targets: Vec::new(),
             banks: Vec::new(),
             pes: Vec::new(),
+            pipeline: Vec::new(),
             dift: Vec::new(),
             ..DesignSpace::default()
         }
     }
 
-    /// Checks the space describes at least one design point and that no
-    /// knob dimension silently zeroes out a cross product.
+    /// Checks the space describes at least one design point, that no
+    /// knob dimension silently zeroes out a cross product, and that no
+    /// knob repeats a value.
     ///
     /// Each knob group (software: threads/layouts/tiles, hardware:
-    /// hw_targets/banks/pes/dift) must be either fully populated or fully
-    /// empty — an empty dimension inside a populated group would make
-    /// [`DesignSpace::enumerate`] yield zero points for the whole group
-    /// without any indication of why.
+    /// hw_targets/banks/pes/pipeline/dift) must be either fully populated
+    /// or fully empty — an empty dimension inside a populated group would
+    /// make [`DesignSpace::enumerate`] yield zero points for the whole
+    /// group without any indication of why. A duplicated knob value
+    /// (e.g. `threads: [4, 4]`) would enumerate the same point twice,
+    /// double-counting it in every downstream consumer — Pareto
+    /// statistics, memo hit rates, and the learned-cost-model dataset
+    /// would all silently skew toward the repeated point.
     ///
     /// # Errors
     ///
@@ -83,6 +94,7 @@ impl DesignSpace {
             ("hw_targets", self.hw_targets.is_empty()),
             ("banks", self.banks.is_empty()),
             ("pes", self.pes.is_empty()),
+            ("pipeline", self.pipeline.is_empty()),
             ("dift", self.dift.is_empty()),
         ];
         for group in [&software[..], &hardware[..]] {
@@ -103,51 +115,77 @@ impl DesignSpace {
                 "every knob dimension is empty: the space describes no design points".into(),
             ));
         }
+        reject_duplicates("threads", &self.threads)?;
+        reject_duplicates("layouts", &self.layouts)?;
+        reject_duplicates("tiles", &self.tiles)?;
+        reject_duplicates("hw_targets", &self.hw_targets)?;
+        reject_duplicates("banks", &self.banks)?;
+        reject_duplicates("pes", &self.pes)?;
+        reject_duplicates("pipeline", &self.pipeline)?;
+        reject_duplicates("dift", &self.dift)?;
         Ok(())
     }
 
-    /// Enumerates every point: the cross product of software knobs plus
-    /// the cross product of hardware knobs.
-    pub fn enumerate(&self) -> Vec<Vec<Transform>> {
-        let mut specs = Vec::new();
-        for &t in &self.threads {
-            for &l in &self.layouts {
+    /// Enumerates every point as a typed [`KnobVector`]: the cross
+    /// product of software knobs followed by the cross product of
+    /// hardware knobs, in a deterministic order that is part of the DSE
+    /// contract (variant ids are `kernel#index` into this order).
+    pub fn enumerate_knobs(&self) -> Vec<KnobVector> {
+        let mut points = Vec::with_capacity(self.size());
+        for &threads in &self.threads {
+            for &layout in &self.layouts {
                 for &tile in &self.tiles {
-                    let mut spec = vec![
-                        Transform::OnTarget(Target::Cpu),
-                        Transform::Threads(t),
-                        Transform::DataLayout(l),
-                    ];
-                    if let Some(size) = tile {
-                        spec.push(Transform::Tile(size));
-                    }
-                    specs.push(spec);
+                    points.push(KnobVector::Software { threads, layout, tile });
                 }
             }
         }
         for &target in &self.hw_targets {
-            for &b in &self.banks {
+            for &banks in &self.banks {
                 for &pe in &self.pes {
-                    for &d in &self.dift {
-                        specs.push(vec![
-                            Transform::OnTarget(target),
-                            Transform::Banks(b),
-                            Transform::Pe(pe),
-                            Transform::Pipeline(true),
-                            Transform::Dift(d),
-                        ]);
+                    for &pipeline in &self.pipeline {
+                        for &dift in &self.dift {
+                            points.push(KnobVector::Hardware { target, banks, pe, pipeline, dift });
+                        }
                     }
                 }
             }
         }
-        specs
+        points
+    }
+
+    /// Enumerates every point as a legacy transform list. Prefer
+    /// [`DesignSpace::enumerate_knobs`]; this lowers each typed point
+    /// through [`KnobVector::to_transforms`] for consumers that still
+    /// speak `Vec<Transform>`.
+    pub fn enumerate(&self) -> Vec<Vec<Transform>> {
+        self.enumerate_knobs().iter().map(KnobVector::to_transforms).collect()
     }
 
     /// Number of points this space enumerates.
     pub fn size(&self) -> usize {
         self.threads.len() * self.layouts.len() * self.tiles.len()
-            + self.hw_targets.len() * self.banks.len() * self.pes.len() * self.dift.len()
+            + self.hw_targets.len()
+                * self.banks.len()
+                * self.pes.len()
+                * self.pipeline.len()
+                * self.dift.len()
     }
+}
+
+/// Rejects a knob list that repeats a value, naming the knob and value.
+fn reject_duplicates<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    values: &[T],
+) -> Result<(), VariantError> {
+    for (i, value) in values.iter().enumerate() {
+        if values[..i].contains(value) {
+            return Err(VariantError::Space(format!(
+                "knob '{name}' lists {value:?} more than once; duplicate knob values enumerate \
+                 the same design point twice and silently bias every downstream statistic"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -204,10 +242,46 @@ mod tests {
             hw_targets: Vec::new(),
             banks: Vec::new(),
             pes: Vec::new(),
+            pipeline: Vec::new(),
             dift: Vec::new(),
         };
         assert_eq!(space.enumerate().len(), 0);
         assert!(matches!(space.validate(), Err(VariantError::Space(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_knob_values() {
+        let space = DesignSpace { threads: vec![1, 4, 4], ..DesignSpace::default() };
+        assert_eq!(
+            space.enumerate().len(),
+            space.size(),
+            "duplicates double-count points, which is exactly the bias validate must reject"
+        );
+        let VariantError::Space(msg) = space.validate().unwrap_err() else {
+            panic!("expected a space error");
+        };
+        assert!(msg.contains("threads") && msg.contains('4'), "names knob and value: {msg}");
+
+        // Every knob dimension is covered, including the Option-typed and
+        // bool-typed ones.
+        let space = DesignSpace { tiles: vec![None, None], ..DesignSpace::default() };
+        assert!(space.validate().is_err());
+        let space = DesignSpace { dift: vec![false, false], ..DesignSpace::default() };
+        assert!(space.validate().is_err());
+        let space = DesignSpace { banks: vec![4, 16, 4], ..DesignSpace::default() };
+        assert!(space.validate().is_err());
+    }
+
+    #[test]
+    fn typed_and_legacy_enumeration_agree() {
+        let space = DesignSpace::default();
+        let knobs = space.enumerate_knobs();
+        let specs = space.enumerate();
+        assert_eq!(knobs.len(), specs.len());
+        for (knob, spec) in knobs.iter().zip(&specs) {
+            assert_eq!(&knob.to_transforms(), spec);
+            assert_eq!(KnobVector::from_spec(spec), *knob);
+        }
     }
 
     #[test]

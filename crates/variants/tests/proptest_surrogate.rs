@@ -1,0 +1,161 @@
+//! Property tests for the learned-cost-model stack: surrogate fits are
+//! bit-deterministic, monotone training data yields monotone predictions,
+//! and neither the dataset factory nor the surrogate-pruned explorer lets
+//! the worker count show through in its output.
+
+use everest_variants::dataset::{self, DatasetConfig};
+use everest_variants::knob::KnobVector;
+use everest_variants::model::{FitConfig, SurrogateModel};
+use everest_variants::space::DesignSpace;
+use everest_variants::transform::Layout;
+use everest_variants::{generate_all, generate_all_pruned, Dataset, PruneConfig};
+use proptest::prelude::*;
+
+/// A synthetic one-feature dataset with the given (x, y) pairs.
+fn table(points: &[(f64, f64)]) -> Dataset {
+    Dataset {
+        feature_names: vec!["x".to_owned()],
+        target_names: vec!["y".to_owned()],
+        rows: points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| dataset::DatasetRow {
+                kernel: "synthetic".to_owned(),
+                fingerprint: 0,
+                seed: 0,
+                index: i,
+                knob: KnobVector::Software { threads: 1, layout: Layout::Aos, tile: None },
+                features: vec![x],
+                targets: vec![y],
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn surrogate_fit_is_bit_deterministic(
+        points in prop::collection::vec((0u8..100, 0u16..2_000), 8..48),
+        probes in prop::collection::vec(0u8..120, 1..8),
+    ) {
+        let pairs: Vec<(f64, f64)> =
+            points.iter().map(|&(x, y)| (f64::from(x), f64::from(y))).collect();
+        let a = SurrogateModel::fit(&table(&pairs), &FitConfig::default());
+        let b = SurrogateModel::fit(&table(&pairs), &FitConfig::default());
+        prop_assert_eq!(a.to_json(), b.to_json());
+        for probe in probes {
+            let x = [f64::from(probe)];
+            prop_assert_eq!(a.predict(&x), b.predict(&x));
+        }
+    }
+
+    #[test]
+    fn monotone_data_yields_monotone_predictions(
+        xs in prop::collection::vec(0u8..100, 12..48),
+        slope in 1u8..9,
+        intercept in 0u8..50,
+    ) {
+        // Exactly-linear responses: in plain target space the ridge
+        // regressor recovers the law (near-)exactly, so whichever
+        // regressor validation selects must predict a non-decreasing
+        // curve over a non-decreasing input sweep.
+        let pairs: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| {
+                let x = f64::from(x);
+                (x, f64::from(slope) * x + f64::from(intercept))
+            })
+            .collect();
+        let cfg = FitConfig { log_targets: false, ..FitConfig::default() };
+        let model = SurrogateModel::fit(&table(&pairs), &cfg);
+        let span: f64 = f64::from(slope) * 100.0;
+        let mut last = f64::NEG_INFINITY;
+        for x in 0..=100 {
+            let pred = model.predict(&[f64::from(x)])[0];
+            prop_assert!(
+                pred >= last - 1e-9 * span,
+                "prediction dips at x={x}: {pred} < {last}"
+            );
+            last = pred;
+        }
+    }
+}
+
+fn corpus() -> everest_ir::Module {
+    everest_dsl::compile_kernels(
+        "kernel mm(a: tensor<8x8xf64>, b: tensor<8x8xf64>) -> tensor<8x8xf64> {
+             return a @ b;
+         }
+         kernel ax(a: tensor<32xf64>, b: tensor<32xf64>) -> tensor<32xf64> {
+             return 2.0 * a + b;
+         }",
+    )
+    .expect("corpus compiles")
+}
+
+/// A space wide enough for the explorer to engage the model instead of
+/// falling back (mirrors the unit suite's wide space).
+fn wide_space() -> DesignSpace {
+    DesignSpace {
+        banks: vec![1, 2, 4, 8, 16],
+        pes: vec![1, 2, 4, 8, 16, 32],
+        pipeline: vec![true, false],
+        dift: vec![false, true],
+        ..DesignSpace::default()
+    }
+}
+
+proptest! {
+    // Each case fans real (simulated) synthesis across worker pools, so
+    // keep the case count low: the property is about seeds, not volume.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn dataset_production_never_exposes_the_worker_count(
+        seed in 0u64..1_000,
+        points in 8usize..24,
+    ) {
+        let module = corpus();
+        let funcs: Vec<&everest_ir::Func> = module.iter().collect();
+        let reference = dataset::produce(
+            &funcs,
+            &DatasetConfig { seed, points, jobs: 1, ..DatasetConfig::default() },
+        )
+        .expect("production succeeds");
+        for jobs in [2usize, 4] {
+            let parallel = dataset::produce(
+                &funcs,
+                &DatasetConfig { seed, points, jobs, ..DatasetConfig::default() },
+            )
+            .expect("production succeeds");
+            prop_assert_eq!(reference.to_csv(), parallel.to_csv());
+        }
+    }
+
+    #[test]
+    fn pruned_exploration_never_exposes_the_worker_count(seed in 0u64..1_000) {
+        let module = corpus();
+        let funcs: Vec<&everest_ir::Func> = module.iter().collect();
+        let cfg = PruneConfig { seed, ..PruneConfig::default() };
+        let space = wide_space();
+        let (reference, report) =
+            generate_all_pruned(&funcs, &space, 1, &cfg).expect("exploration succeeds");
+        for jobs in [2usize, 4] {
+            let (parallel, parallel_report) =
+                generate_all_pruned(&funcs, &space, jobs, &cfg).expect("exploration succeeds");
+            prop_assert_eq!(&reference, &parallel);
+            prop_assert_eq!(&report, &parallel_report);
+        }
+        // Whatever survives pruning is a subset of the exhaustive sweep,
+        // with identical ids and exactly-evaluated metrics.
+        let exhaustive = generate_all(&funcs, &space, 2).expect("exhaustive sweep succeeds");
+        for (pruned_set, full_set) in reference.iter().zip(&exhaustive) {
+            for v in pruned_set {
+                let exact = full_set.iter().find(|f| f.id == v.id);
+                prop_assert_eq!(Some(&v.metrics), exact.map(|f| &f.metrics));
+            }
+        }
+    }
+}
