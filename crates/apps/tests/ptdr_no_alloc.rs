@@ -9,15 +9,21 @@
 use everest_apps::traffic::service::{PtdrEngine, PtdrService, RouteQuery};
 use everest_apps::traffic::{generate_fcd, shortest_route, RoadNetwork, SpeedProfiles};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Const-initialized Cell<u64> TLS: the access itself never allocates
+// and registers no destructor, so it is safe inside the allocator.
+// Per-thread counting keeps the libtest harness's main thread (and any
+// sibling test) from perturbing the measured window.
+std::thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -26,7 +32,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -55,14 +61,14 @@ fn warm_engine_queries_allocate_nothing() {
     engine.estimate(&net, &profiles, &short, 8.0, 4_000, 1);
     engine.estimate(&net, &profiles, &long, 8.0, 4_000, 1);
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     for round in 0..50u64 {
         // Vary seed, departure, sample count (≤ high water), and route
         // — everything a steady-state request stream varies.
         engine.estimate(&net, &profiles, &long, (round % 24) as f64, 4_000, round);
         engine.estimate(&net, &profiles, &short, 17.25, 1_000, round);
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = ALLOCATIONS.with(Cell::get);
     assert_eq!(after - before, 0, "warm engine queries must not allocate");
 }
 
@@ -89,10 +95,10 @@ fn service_cache_hits_allocate_nothing() {
         service.query(&query);
     }
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     for i in 0..1_000usize {
         std::hint::black_box(service.query(&warm[i % warm.len()]));
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = ALLOCATIONS.with(Cell::get);
     assert_eq!(after - before, 0, "cache hits must not allocate");
 }

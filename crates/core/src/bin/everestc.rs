@@ -13,6 +13,7 @@
 //! everestc rtl <kernels.edsl> <kernel>    print the synthesized RTL
 //! everestc workflow <pipeline.ewf>        validate + print a workflow
 //! everestc check [--format <f>] <path>..  run the static lints
+//! everestc fuse [--explain] <wf.ewf> ..   prove which dataset edges can stream
 //! everestc profile <kernels.edsl>         per-phase timing summary table
 //! everestc dataset [--seed <n>] [--points <n>] [--out <csv>] [--model <json>]
 //!                                         mass-produce an HLS training table
@@ -160,6 +161,30 @@ const COMMANDS: &[CommandSpec] = &[
         }],
         records: false,
         run: cmd_check,
+    },
+    CommandSpec {
+        name: "fuse",
+        synopsis: "[--explain] [--format text|json] <pipeline.ewf> [kernels.edsl...]",
+        summary: "classify every workflow dataset edge as fusable / must-spill / racy",
+        flags: &[
+            FlagDoc {
+                name: "--explain",
+                value: "",
+                help: "print the proof behind every verdict: the ordering path, \
+                       the footprint bound vs the BRAM stream budget, or the \
+                       race counterexample",
+            },
+            FlagDoc {
+                name: "--format",
+                value: "<f>",
+                help: "plan output format: text (default) or json (the \
+                       machine-checkable FusionPlan, stable under --jobs); \
+                       diagnostics go to stderr in json mode; exit code is 1 \
+                       when any edge is racy or a kernel is unresolved",
+            },
+        ],
+        records: false,
+        run: cmd_fuse,
     },
     CommandSpec {
         name: "profile",
@@ -700,6 +725,90 @@ fn cmd_check(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error:
     run_check(&sdk, &rest, &format)
 }
 
+fn cmd_fuse(ctx: &Ctx, mut rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
+    let explain = extract_bool_flag(&mut rest, "--explain");
+    let format = extract_value_flag(&mut rest, "--format")?.unwrap_or_else(|| "text".into());
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be 'text' or 'json', got '{format}'").into());
+    }
+    let workflows: Vec<String> = rest.iter().filter(|p| p.ends_with(".ewf")).cloned().collect();
+    let kernels: Vec<String> = rest.iter().filter(|p| p.ends_with(".edsl")).cloned().collect();
+    if workflows.is_empty() || workflows.len() + kernels.len() != rest.len() {
+        return Ok(usage());
+    }
+    let sdk = Sdk::builder().jobs(ctx.jobs).build();
+    run_fuse(&sdk, &workflows, &kernels, &format, explain)
+}
+
+/// The kernel search path for one workflow: the `.edsl` files named on the
+/// command line, or — when none were given — every sibling `.edsl` of the
+/// workflow file, in sorted order (deterministic regardless of readdir
+/// order).
+fn kernel_search_path(
+    workflow: &str,
+    explicit: &[String],
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    if !explicit.is_empty() {
+        return Ok(explicit.to_vec());
+    }
+    let dir = std::path::Path::new(workflow).parent().unwrap_or(std::path::Path::new("."));
+    let mut found = Vec::new();
+    for entry in
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read '{}': {e}", dir.display()))?
+    {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "edsl") {
+            found.push(path.to_string_lossy().into_owned());
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// `everestc fuse`: runs the stream-fusion legality analysis over each
+/// workflow — interprocedural footprint inference on the kernels, then the
+/// dependence classifier against the platform's weakest-device BRAM stream
+/// budget. Text mode prints the plan (with `--explain`, each verdict's
+/// proof) followed by any diagnostics; json mode prints one machine-
+/// checkable `FusionPlan` object per workflow on stdout and keeps
+/// diagnostics on stderr, so the artifact stays parseable. Exits 1 when
+/// any kernel is unresolved or any edge is racy.
+fn run_fuse(
+    sdk: &Sdk,
+    workflows: &[String],
+    kernels: &[String],
+    format: &str,
+    explain: bool,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    let mut errors = 0;
+    for wf_path in workflows {
+        let wf_source = read(wf_path)?;
+        let search = kernel_search_path(wf_path, kernels)?;
+        let kernel_sources = search.iter().map(|p| read(p)).collect::<Result<Vec<_>, _>>()?;
+        let refs: Vec<&str> = kernel_sources.iter().map(String::as_str).collect();
+        let (plan, mut diags) = sdk.fuse_workflow(&wf_source, &refs)?;
+        for d in &mut diags {
+            d.file = wf_path.clone();
+        }
+        errors += everest::ir::diag::tally(&diags).0;
+        match format {
+            "json" => {
+                print!("{}", plan.to_json());
+                if !diags.is_empty() {
+                    eprint!("{}", everest::ir::render_text(&diags));
+                }
+            }
+            _ => {
+                print!("{}", everest::render_plan_text(&plan, explain));
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+            }
+        }
+    }
+    Ok(u8::from(errors > 0))
+}
+
 fn cmd_profile(ctx: &Ctx, rest: Vec<String>) -> Result<u8, Box<dyn std::error::Error>> {
     let [path] = rest.as_slice() else {
         return Ok(usage());
@@ -881,11 +990,27 @@ fn run_stats(paths: &[String], format: &str) -> Result<u8, Box<dyn std::error::E
 /// specs (`.ewf`) — and renders the findings in one diagnostic stream.
 /// Exits 1 when any error-severity diagnostic is reported.
 fn run_check(sdk: &Sdk, paths: &[String], format: &str) -> Result<u8, Box<dyn std::error::Error>> {
+    // The `.edsl` files of this invocation double as the kernel search
+    // path for its workflows: when any are present, a workflow task whose
+    // kernel is missing from them is a hard `wf-unresolved-kernel` error
+    // (fusion analysis must never run on a partial graph). With no
+    // `.edsl` on the command line there is no search path to resolve
+    // against, and workflows are race-checked standalone as before.
+    let mut modules = Vec::new();
+    for path in paths.iter().filter(|p| p.ends_with(".edsl")) {
+        modules.push(everest::dsl::compile_kernels(&read(path)?)?);
+    }
+    let kernel_index = (!modules.is_empty()).then(|| everest::kernel_index(&modules));
     let mut diags: Vec<everest::Diagnostic> = Vec::new();
     for path in paths {
         let source = read(path)?;
         let mut found = if path.ends_with(".ewf") {
-            sdk.check_workflow(&source)?
+            let mut found = sdk.check_workflow(&source)?;
+            if let Some(index) = &kernel_index {
+                let spec = everest::dsl::WorkflowSpec::parse(&source)?;
+                found.extend(everest::unresolved_diags(&spec, index));
+            }
+            found
         } else if path.ends_with(".edsl") {
             sdk.check(&source)?
         } else {

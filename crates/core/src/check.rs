@@ -61,8 +61,8 @@ fn race_diagnostic(spec: &WorkflowSpec, race: &Race) -> Diagnostic {
         LINT_WF_RACE,
         &spec.name,
         format!(
-            "{} race on dataset \"{}\": tasks '{}' and '{}' have no ordering edge",
-            race.kind, race.dataset, race.first, race.second
+            "{} race on dataset \"{}\": tasks '{}' and '{}' have no ordering edge ({})",
+            race.kind, race.dataset, race.first, race.second, race.evidence
         ),
     )
     .at(format!("task {} / task {}", race.first, race.second))
@@ -148,8 +148,8 @@ mod tests {
         assert_eq!(
             diags[0].render(),
             "error[wf-race] @racy at task clean / task refresh: read-write race on dataset \
-             \"warehouse\": tasks 'clean' and 'refresh' have no ordering edge\n    \
-             clean and refresh both touch \"warehouse\" concurrently"
+             \"warehouse\": tasks 'clean' and 'refresh' have no ordering edge (no ordering \
+             path links them)\n    clean and refresh both touch \"warehouse\" concurrently"
         );
     }
 

@@ -39,11 +39,13 @@
 pub mod bridge;
 pub mod check;
 pub mod error;
+pub mod fuse;
 pub mod sdk;
 
 pub use bridge::task_graph_from_workflow;
 pub use check::{check_workflow_spec, workflow_accesses};
 pub use error::{SdkError, SdkResult};
+pub use fuse::{build_plan, kernel_index, plan_diags, render_plan_text, unresolved_diags};
 pub use sdk::{Compiled, CompiledKernel, Deployment, Sdk, SdkBuilder};
 
 // The shared diagnostic vocabulary of `everestc check`.

@@ -286,6 +286,42 @@ impl Sdk {
         Ok(crate::check::check_workflow_spec(&spec))
     }
 
+    /// Runs the stream-fusion legality analysis over one workflow: compiles
+    /// every kernel source, indexes per-kernel footprint summaries, and
+    /// classifies each dataset edge against the weakest FPGA's BRAM stream
+    /// budget (see [`System::stream_budget_bytes`]; `0` when the system has
+    /// no FPGAs, so nothing fuses). Returns the machine-checkable plan plus
+    /// the diagnostics (unresolved kernels, racy edges) — an empty
+    /// diagnostic list means the plan is safe to hand to a transport layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SdkError`] when the workflow or any kernel source
+    /// is invalid — malformed input is a hard error, not a diagnostic.
+    pub fn fuse_workflow(
+        &self,
+        workflow_source: &str,
+        kernel_sources: &[&str],
+    ) -> SdkResult<(everest_workflow::fuse::FusionPlan, Vec<everest_ir::Diagnostic>)> {
+        let mut span = everest_telemetry::span("sdk.fuse", "sdk");
+        let spec = everest_dsl::WorkflowSpec::parse(workflow_source)?;
+        let mut modules = Vec::with_capacity(kernel_sources.len());
+        for source in kernel_sources {
+            let mut module = compile_kernels(source)?;
+            PassManager::standard().run(&mut module)?;
+            module.verify()?;
+            modules.push(module);
+        }
+        let index = crate::fuse::kernel_index(&modules);
+        let budget = self.system.stream_budget_bytes().unwrap_or(0);
+        let mut diags = crate::fuse::unresolved_diags(&spec, &index);
+        let plan = crate::fuse::build_plan(&spec, &index, budget);
+        diags.extend(crate::fuse::plan_diags(&spec, &plan));
+        span.attr("edges", plan.edges.len());
+        span.attr("diagnostics", diags.len());
+        Ok((plan, diags))
+    }
+
     /// Synthesizes one kernel to an accelerator artifact (RTL + reports)
     /// without variant exploration.
     ///

@@ -11,6 +11,25 @@
 use crate::error::{HlsError, HlsResult};
 use crate::oplib::AreaReport;
 
+/// Bits in one block RAM (18-kbit primitives throughout this crate).
+pub const BRAM_BITS: u64 = 18 * 1024;
+
+/// Payload bytes of one 18-kbit block RAM.
+pub const BRAM_BYTES: u64 = BRAM_BITS / 8;
+
+/// Block RAMs needed for a double-buffered (ping/pong) stream FIFO holding
+/// one `bytes`-sized transfer: two full copies so the producer fills one
+/// half while the consumer drains the other.
+pub fn stream_buffer_brams(bytes: u64) -> u64 {
+    (2 * bytes * 8).div_ceil(BRAM_BITS)
+}
+
+/// Largest single transfer a double-buffered stream FIFO built from
+/// `brams` block RAMs can hold (the inverse of [`stream_buffer_brams`]).
+pub fn stream_capacity_bytes(brams: u64) -> u64 {
+    brams / 2 * BRAM_BYTES
+}
+
 /// Bank-mapping scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
@@ -152,6 +171,19 @@ impl Partitioning {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_buffer_math_round_trips() {
+        // 131072 B double-buffered: 2*131072*8 bits / 18 kbit = 114 BRAMs.
+        assert_eq!(stream_buffer_brams(131_072), 114);
+        // Capacity is the floor inverse: what fits always synthesizes.
+        for brams in [2u64, 114, 200, 1_440] {
+            let cap = stream_capacity_bytes(brams);
+            assert!(stream_buffer_brams(cap) <= brams);
+        }
+        assert_eq!(stream_capacity_bytes(200), 230_400);
+        assert_eq!(stream_capacity_bytes(1), 0, "a single BRAM cannot double-buffer");
+    }
 
     #[test]
     fn cyclic_mapping_is_round_robin() {

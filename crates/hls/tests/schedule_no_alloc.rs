@@ -13,16 +13,22 @@ use everest_hls::schedule::{ResourceBudget, Schedule, ScheduleArena};
 use everest_hls::FuKind;
 use everest_ir::{FuncBuilder, Type};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Const-initialized Cell<u64> TLS: the access itself never allocates
+// and registers no destructor, so it is safe inside the allocator.
+// Per-thread counting keeps the libtest harness's main thread (and any
+// sibling test) from perturbing the measured window.
+std::thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -31,7 +37,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -77,7 +83,7 @@ fn warm_arena_schedules_allocate_nothing() {
     }
     let reference: Vec<u64> = out.start.clone();
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     for round in 0..50usize {
         // A DSE-style sweep: alternate candidates and budgets, reusing
         // both the arena and the output schedule.
@@ -85,7 +91,7 @@ fn warm_arena_schedules_allocate_nothing() {
         arena.list_schedule_into(&mut out, dfg, &budgets[round % budgets.len()]).unwrap();
         std::hint::black_box(out.len);
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = ALLOCATIONS.with(Cell::get);
     assert_eq!(after - before, 0, "warm arena schedules must not allocate");
 
     // The recycled path still produces the exact same schedule.

@@ -143,16 +143,22 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Serializes diagnostics as a JSON array (`--format json`).
+/// Version of the JSON envelope emitted by [`render_json`]. Bumped whenever
+/// a field is renamed, removed, or changes meaning; purely additive changes
+/// keep the version. CI gates and external tooling key on this.
+pub const DIAG_SCHEMA_VERSION: u32 = 1;
+
+/// Serializes diagnostics as a versioned JSON envelope (`--format json`):
+/// `{"schema_version": 1, "diagnostics": [...]}`.
 pub fn render_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[");
+    let mut out = format!("{{\"schema_version\": {DIAG_SCHEMA_VERSION}, \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
         out.push_str(&d.to_json());
     }
-    out.push_str("]\n");
+    out.push_str("]}\n");
     out
 }
 
@@ -268,9 +274,23 @@ mod tests {
     }
 
     #[test]
-    fn render_json_is_an_array() {
+    fn render_json_is_a_versioned_envelope() {
         let json = render_json(&[sample()]);
-        assert!(json.starts_with('['));
-        assert!(json.trim_end().ends_with(']'));
+        assert!(json.starts_with("{\"schema_version\": 1, \"diagnostics\": ["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn golden_json_envelope() {
+        // Pins the envelope byte-for-byte: downstream CI gates parse this.
+        assert_eq!(render_json(&[]), "{\"schema_version\": 1, \"diagnostics\": []}\n");
+        let one =
+            Diagnostic::new(Severity::Warning, "dead-store", "f", "never read").at("^bb0 op 0");
+        assert_eq!(
+            render_json(&[one]),
+            "{\"schema_version\": 1, \"diagnostics\": [{\"severity\": \"warning\", \
+             \"code\": \"dead-store\", \"func\": \"f\", \"location\": \"^bb0 op 0\", \
+             \"message\": \"never read\", \"snippet\": \"\", \"file\": \"\"}]}\n"
+        );
     }
 }

@@ -47,6 +47,7 @@ pub mod dataflow;
 pub mod diag;
 pub mod dialects;
 pub mod error;
+pub mod footprint;
 pub mod interp;
 pub mod ir;
 pub mod lints;
@@ -62,8 +63,9 @@ pub mod verify;
 pub use attr::Attr;
 pub use builder::FuncBuilder;
 pub use dataflow::{analyze, analyze_ordered, Analysis, Direction, Interval, Lattice, Site};
-pub use diag::{render_json, render_text, Diagnostic, Severity};
+pub use diag::{render_json, render_text, Diagnostic, Severity, DIAG_SCHEMA_VERSION};
 pub use error::{IrError, IrResult};
+pub use footprint::{fn_footprint, module_footprints, FnFootprint, ShapeAnalysis, ShapeFact};
 pub use ir::{Block, BlockId, Func, Module, Op, Region, Value};
 pub use lints::{check_func, check_module, taint_summary, CheckPass, TaintSummary};
 pub use parse::parse_module;

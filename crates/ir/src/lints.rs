@@ -41,10 +41,25 @@ pub const LINT_TAINT_FLOW: &str = "taint-flow";
 /// (reported by `everest-workflow`'s race detector through the same
 /// diagnostic format).
 pub const LINT_WF_RACE: &str = "wf-race";
+/// A workflow task referencing a kernel that is not present in the kernel
+/// search path (reported by `everestc check`/`fuse` — fusion analysis must
+/// never run on a partial graph).
+pub const LINT_UNRESOLVED_KERNEL: &str = "wf-unresolved-kernel";
+/// A workflow dataset edge classified *racy* by the fusion-legality
+/// classifier: unordered conflicting access with a concrete counterexample
+/// (reported by `everestc fuse`).
+pub const LINT_FUSE_RACY: &str = "fuse-racy";
 
 /// Registry of every stable lint code this crate family can emit.
-pub const LINT_CODES: &[&str] =
-    &[LINT_DEAD_STORE, LINT_UNUSED_RESULT, LINT_RANGE_OOB, LINT_TAINT_FLOW, LINT_WF_RACE];
+pub const LINT_CODES: &[&str] = &[
+    LINT_DEAD_STORE,
+    LINT_UNUSED_RESULT,
+    LINT_RANGE_OOB,
+    LINT_TAINT_FLOW,
+    LINT_WF_RACE,
+    LINT_UNRESOLVED_KERNEL,
+    LINT_FUSE_RACY,
+];
 
 // ---------------------------------------------------------------------------
 // Liveness → dead-store / unused-result

@@ -37,6 +37,13 @@ impl FabricCapacity {
             && area.brams <= self.brams
     }
 
+    /// Largest double-buffered stream transfer this fabric's BRAMs can
+    /// hold — the per-device budget the fusion-legality classifier proves
+    /// fusable edges against.
+    pub fn stream_budget_bytes(&self) -> u64 {
+        everest_hls::stream_capacity_bytes(self.brams)
+    }
+
     /// Remaining capacity after subtracting `area` (saturating).
     pub fn minus(&self, area: &AreaReport) -> FabricCapacity {
         FabricCapacity {

@@ -80,6 +80,18 @@ impl System {
             .collect()
     }
 
+    /// The stream budget a fusable edge must fit on *any* FPGA of this
+    /// system: the minimum over every device of the BRAM bytes left for a
+    /// double-buffered stream FIFO after the shell and deployed roles.
+    /// `None` when the system has no FPGAs at all.
+    pub fn stream_budget_bytes(&self) -> Option<u64> {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.devices)
+            .map(|d| d.available_fabric().stream_budget_bytes())
+            .min()
+    }
+
     /// The reference EVEREST demonstrator (paper Fig. 4): a POWER9 cloud
     /// node with two bus-attached (OpenCAPI) FPGAs, four network-attached
     /// cloudFPGA devices as stand-alone resources, an ARM and a RISC-V
@@ -134,6 +146,14 @@ mod tests {
         assert_eq!(rack.devices.len(), 4);
         assert!(rack.devices.iter().all(|d| d.attachment.is_disaggregated()));
         assert_eq!(sys.fpga_inventory().len(), 7);
+    }
+
+    #[test]
+    fn stream_budget_is_the_weakest_device() {
+        let sys = System::everest_reference();
+        // The edge Zynq (ez0): (216 - 16 shell) BRAMs, double-buffered.
+        assert_eq!(sys.stream_budget_bytes(), Some(230_400));
+        assert_eq!(System::new().stream_budget_bytes(), None);
     }
 
     #[test]

@@ -1,18 +1,24 @@
 //! Verifies the flight recorder's bounded-overhead contract: once a
 //! thread's ring exists, recording an event performs no heap
 //! allocation. Lives in its own test binary (single test) because it
-//! swaps in a counting global allocator and must not race other tests.
+//! swaps in a counting global allocator. The counter is per-thread —
+//! the libtest harness's main thread occasionally allocates while the
+//! test body runs, and those allocations are not the recorder's.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Const-initialized Cell<u64> TLS: the access itself never allocates
+// and registers no destructor, so it is safe inside the allocator.
+std::thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -21,7 +27,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -35,13 +41,13 @@ fn recording_allocates_nothing_after_ring_warmup() {
     // First event creates this thread's preallocated ring.
     flight.marker("warmup", 0.0);
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     // More events than the ring holds, so both the fill and the
     // overwrite paths are exercised.
     for i in 0..4096 {
         flight.record(everest_telemetry::EventKind::Observe, "hot.value", i as f64);
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = ALLOCATIONS.with(Cell::get);
     assert_eq!(after - before, 0, "flight recording must not allocate per event");
 
     // The events really are there (ring capacity's worth).

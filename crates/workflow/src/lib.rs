@@ -15,7 +15,10 @@
 //! * [`pool`] — a scoped parallel-map over independent items with
 //!   index-stable result order (the DSE engine's fan-out primitive);
 //! * [`race`] — a static detector for read-write/write-write dataset
-//!   conflicts between tasks with no ordering edge.
+//!   conflicts between tasks with no ordering edge;
+//! * [`fuse`] — the stream-fusion legality classifier: every dataset edge
+//!   gets a fusable/must-spill/racy verdict with a machine-checkable proof
+//!   ([`fuse::FusionPlan`]), the contract the P2P transport layer consumes.
 //!
 //! ## Example
 //!
@@ -36,6 +39,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod fuse;
 pub mod graph;
 pub mod parallel;
 pub mod pool;
@@ -45,7 +49,13 @@ pub mod worker;
 
 pub use error::{WorkflowError, WorkflowResult};
 pub use exec::{simulate, simulate_available, RunReport};
+pub use fuse::{
+    classify, DataEdge, EdgeClass, EdgeEnd, EndpointRole, FusionEdge, FusionPlan,
+    FUSION_SCHEMA_VERSION,
+};
 pub use graph::{TaskGraph, TaskId, TaskSpec};
-pub use race::{detect_races, Race, RaceKind, TaskAccess};
+pub use race::{
+    canonical_pair, detect_races, ordering_evidence, OrderingEvidence, Race, RaceKind, TaskAccess,
+};
 pub use scheduler::Policy;
 pub use worker::Worker;

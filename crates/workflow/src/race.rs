@@ -48,6 +48,32 @@ impl std::fmt::Display for RaceKind {
     }
 }
 
+/// Why the dependency edges fail to order a conflicting pair: the witness
+/// attached to every [`Race`] so the diagnostic can say not just *that* the
+/// pair is unordered but what an ordering fix would look like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderingEvidence {
+    /// The tasks live in disconnected components of the ordering graph —
+    /// no chain of edges links them in any direction.
+    NoPath,
+    /// The shortest undirected chain of tasks linking the pair. Since
+    /// neither task reaches the other directionally, at least one edge of
+    /// this chain points the wrong way; re-orienting the chain is the
+    /// minimal edit that would have serialized the pair.
+    MisdirectedPath(Vec<String>),
+}
+
+impl std::fmt::Display for OrderingEvidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderingEvidence::NoPath => f.write_str("no ordering path links them"),
+            OrderingEvidence::MisdirectedPath(chain) => {
+                write!(f, "nearest ordering chain {} fails to order them", chain.join(" -> "))
+            }
+        }
+    }
+}
+
 /// One detected conflict: two unordered tasks touching the same dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Race {
@@ -59,6 +85,62 @@ pub struct Race {
     pub second: String,
     /// The contested dataset.
     pub dataset: String,
+    /// Witness for the missing ordering: the chain that would have
+    /// serialized the pair, or proof that none exists.
+    pub evidence: OrderingEvidence,
+}
+
+/// Canonical (first, second) orientation for an unordered task pair — the
+/// single place symmetric pairs are normalized before reporting or
+/// deduplication.
+pub fn canonical_pair<'a>(a: &'a str, b: &'a str) -> (&'a str, &'a str) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Shortest undirected chain between `from` and `to` through the ordering
+/// edges (BFS; deterministic because neighbours are visited in sorted
+/// order). Returns the full node chain including both endpoints.
+fn undirected_path(from: &str, to: &str, edges: &[(String, String)]) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+        adj.entry(b.as_str()).or_default().insert(a.as_str());
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    prev.insert(from, from);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut chain = vec![to.to_string()];
+            let mut cur = to;
+            while prev[cur] != cur {
+                cur = prev[cur];
+                chain.push(cur.to_string());
+            }
+            chain.reverse();
+            return Some(chain);
+        }
+        for &next in adj.get(node).into_iter().flatten() {
+            if let std::collections::btree_map::Entry::Vacant(e) = prev.entry(next) {
+                e.insert(node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// The [`OrderingEvidence`] for an unordered pair: the shortest undirected
+/// chain through the ordering edges, or [`OrderingEvidence::NoPath`].
+pub fn ordering_evidence(a: &str, b: &str, edges: &[(String, String)]) -> OrderingEvidence {
+    match undirected_path(a, b, edges) {
+        Some(chain) => OrderingEvidence::MisdirectedPath(chain),
+        None => OrderingEvidence::NoPath,
+    }
 }
 
 /// Transitive reachability over the `edges` (from → to) relation,
@@ -102,13 +184,16 @@ pub fn detect_races(accesses: &[TaskAccess], edges: &[(String, String)]) -> Vec<
             if a.task == b.task || ordered(&a.task, &b.task) {
                 continue;
             }
-            let (first, second) = if a.task <= b.task { (a, b) } else { (b, a) };
+            let (first, second) =
+                if canonical_pair(&a.task, &b.task).0 == a.task.as_str() { (a, b) } else { (b, a) };
+            let evidence = ordering_evidence(&first.task, &second.task, edges);
             let mut push = |kind, dataset: &String| {
                 races.push(Race {
                     kind,
                     first: first.task.clone(),
                     second: second.task.clone(),
                     dataset: dataset.clone(),
+                    evidence: evidence.clone(),
                 });
             };
             for ds in first.writes.intersection(&second.writes) {
@@ -186,6 +271,46 @@ mod tests {
     fn read_read_never_races() {
         let accesses = [TaskAccess::new("a", &["d"], &[]), TaskAccess::new("b", &["d"], &[])];
         assert!(detect_races(&accesses, &[]).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_carries_no_path_evidence() {
+        let accesses = [
+            TaskAccess::new("clean", &["raw"], &["table"]),
+            TaskAccess::new("enrich", &["extra"], &["table"]),
+        ];
+        let races = detect_races(&accesses, &[]);
+        assert_eq!(races[0].evidence, OrderingEvidence::NoPath);
+        assert_eq!(races[0].evidence.to_string(), "no ordering path links them");
+    }
+
+    #[test]
+    fn misdirected_chain_is_reported_as_the_witness() {
+        // a → hub and b → hub: the pair is connected through hub but
+        // neither reaches the other, so the undirected chain witnesses
+        // the missing ordering.
+        let accesses = [TaskAccess::new("a", &[], &["d"]), TaskAccess::new("b", &["d"], &[])];
+        let edges = [edge("a", "hub"), edge("b", "hub")];
+        let races = detect_races(&accesses, &edges);
+        assert_eq!(races.len(), 1);
+        assert_eq!(
+            races[0].evidence,
+            OrderingEvidence::MisdirectedPath(vec![
+                "a".to_string(),
+                "hub".to_string(),
+                "b".to_string()
+            ])
+        );
+        assert_eq!(
+            races[0].evidence.to_string(),
+            "nearest ordering chain a -> hub -> b fails to order them"
+        );
+    }
+
+    #[test]
+    fn canonical_pair_orders_lexicographically() {
+        assert_eq!(canonical_pair("z", "a"), ("a", "z"));
+        assert_eq!(canonical_pair("a", "z"), ("a", "z"));
     }
 
     #[test]

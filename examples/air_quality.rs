@@ -66,5 +66,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         acc.innermost_ii,
         acc.area
     );
+
+    println!("\n=== stream-fusion legality of the weather -> air-quality cascade ===");
+    // The fusion classifier proves which dataset edges of the cascade can
+    // legally become FPGA-to-FPGA streams: the ensemble-field hand-off to
+    // the plume kernel fits the weakest device's BRAM budget and has a
+    // single ordered reader, so it never needs to touch the host.
+    let workflow = std::fs::read_to_string("examples/pipeline.ewf")?;
+    let kernels = std::fs::read_to_string("examples/cascade.edsl")?;
+    let (plan, diags) = sdk.fuse_workflow(&workflow, &[&kernels])?;
+    print!("{}", everest::render_plan_text(&plan, true));
+    assert!(diags.is_empty(), "the cascade must classify cleanly: {diags:?}");
+    let fused = plan
+        .edges
+        .iter()
+        .find(|e| e.class == everest::workflow::EdgeClass::Fusable)
+        .expect("ensemble -> plume edge certifies fusable");
+    println!(
+        "certified: \"{}\" streams {} B device-to-device (budget {} B)",
+        fused.edge.item,
+        fused.edge.bytes.unwrap(),
+        plan.budget_bytes
+    );
     Ok(())
 }

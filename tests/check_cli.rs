@@ -1,7 +1,7 @@
 //! End-to-end check of `everestc check`: every lint code must report a
 //! true positive on its seeded fixture under `examples/lints/`, the clean
 //! examples must come back empty with exit code 0, and `--format json`
-//! must emit a parseable diagnostics array.
+//! must emit a parseable, versioned diagnostics envelope.
 
 use serde_json::Value;
 use std::path::PathBuf;
@@ -54,7 +54,9 @@ fn every_lint_code_fires_on_its_seeded_fixture() {
 
 #[test]
 fn clean_examples_produce_no_diagnostics() {
-    let clean = [example("kernels.edsl"), example("pipeline.ewf")];
+    // With the kernel sources on the search path the workflow's tasks must
+    // all resolve; a missing kernel would be a wf-unresolved-kernel error.
+    let clean = [example("kernels.edsl"), example("cascade.edsl"), example("pipeline.ewf")];
     let (stdout, code) = check(&clean.iter().collect::<Vec<_>>(), None);
     assert_eq!(code, 0, "{stdout}");
     assert_eq!(stdout, "check: 0 errors, 0 warnings\n");
@@ -66,9 +68,12 @@ fn json_format_is_a_parseable_diagnostics_array() {
     let (stdout, code) = check(&fixtures.iter().collect::<Vec<_>>(), Some("json"));
     assert_eq!(code, 1);
     let value: Value = serde_json::from_str(&stdout).expect("valid JSON");
-    let Value::Array(diags) = value else { panic!("diagnostics must be a JSON array") };
+    assert_eq!(value.get("schema_version"), Some(&Value::Int(1)), "{stdout}");
+    let Some(Value::Array(diags)) = value.get("diagnostics") else {
+        panic!("diagnostics must be a JSON array: {stdout}")
+    };
     assert_eq!(diags.len(), 2, "{stdout}");
-    for d in &diags {
+    for d in diags {
         for field in ["severity", "code", "func", "location", "message", "snippet", "file"] {
             assert!(d.get(field).is_some(), "diagnostic missing field '{field}': {stdout}");
         }
@@ -84,11 +89,11 @@ fn json_format_is_a_parseable_diagnostics_array() {
 }
 
 #[test]
-fn json_format_on_clean_input_is_an_empty_array() {
+fn json_format_on_clean_input_is_an_empty_envelope() {
     let clean = [example("pipeline.ewf")];
     let (stdout, code) = check(&clean.iter().collect::<Vec<_>>(), Some("json"));
     assert_eq!(code, 0);
-    assert_eq!(stdout.trim(), "[]");
+    assert_eq!(stdout.trim(), "{\"schema_version\": 1, \"diagnostics\": []}");
 }
 
 #[test]

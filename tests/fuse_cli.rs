@@ -1,0 +1,127 @@
+//! End-to-end check of `everestc fuse`: the JSON fusion plan must be
+//! bit-identical across runs and at any `--jobs` count, the
+//! ensemble_field -> plume edge of the shipped cascade must certify
+//! fusable with an explicit footprint bound under the BRAM budget, and
+//! the aliased-sink fixture must be rejected with a rendered
+//! counterexample.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn everestc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_everestc"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples").join(name)
+}
+
+fn fuse(args: &[&str], paths: &[&PathBuf]) -> (String, String, i32) {
+    let mut cmd = everestc();
+    cmd.arg("fuse");
+    for a in args {
+        cmd.arg(a);
+    }
+    for p in paths {
+        cmd.arg(p);
+    }
+    let out = cmd.output().expect("everestc runs");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code().unwrap(),
+    )
+}
+
+#[test]
+fn json_plan_is_bit_identical_across_runs_and_jobs() {
+    let wf = example("pipeline.ewf");
+    let (reference, stderr, code) = fuse(&["--format", "json"], &[&wf]);
+    assert_eq!(code, 0, "clean cascade must fuse without diagnostics:\n{stderr}");
+    assert!(stderr.is_empty(), "{stderr}");
+    for jobs in ["1", "2", "8"] {
+        let mut cmd = everestc();
+        cmd.arg("--jobs").arg(jobs).arg("fuse").arg("--format").arg("json").arg(&wf);
+        let out = cmd.output().expect("everestc runs");
+        assert_eq!(out.status.code(), Some(0));
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+        assert_eq!(stdout, reference, "plan must be bit-identical at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn ensemble_to_plume_is_certified_fusable_under_the_bram_budget() {
+    let (stdout, _, code) = fuse(&["--format", "json"], &[&example("pipeline.ewf")]);
+    assert_eq!(code, 0);
+    let plan: Value = serde_json::from_str(&stdout).expect("valid JSON plan");
+    assert_eq!(plan.get("schema_version"), Some(&Value::Int(1)), "{stdout}");
+    assert_eq!(plan.get("workflow"), Some(&Value::Str("air_quality_cascade".into())));
+    let Some(&Value::Int(budget)) = plan.get("budget_bytes") else {
+        panic!("plan must carry the BRAM stream budget: {stdout}")
+    };
+    let Some(Value::Array(edges)) = plan.get("edges") else { panic!("edges: {stdout}") };
+    let fused: Vec<&Value> =
+        edges.iter().filter(|e| e.get("class") == Some(&Value::Str("fusable".into()))).collect();
+    assert_eq!(fused.len(), 1, "exactly one edge streams device-to-device: {stdout}");
+    let edge = fused[0];
+    assert_eq!(edge.get("item"), Some(&Value::Str("ensemble_field".into())));
+    assert_eq!(edge.get("producer"), Some(&Value::Str("ensemble".into())));
+    assert_eq!(edge.get("consumer"), Some(&Value::Str("plume".into())));
+    let Some(&Value::Int(bytes)) = edge.get("bytes") else { panic!("bytes: {stdout}") };
+    assert!(bytes <= budget, "footprint {bytes} must fit the {budget} B budget");
+    // No edge of the clean cascade may classify racy.
+    assert!(
+        edges.iter().all(|e| e.get("class") != Some(&Value::Str("racy".into()))),
+        "clean cascade must have zero racy edges: {stdout}"
+    );
+}
+
+#[test]
+fn explain_prints_the_fusion_proof() {
+    let (stdout, _, code) = fuse(&["--explain"], &[&example("pipeline.ewf")]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("[fusable] ensemble_field: ensemble -> plume"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "proof: single reader, footprint 131072 B <= 230400 B budget, \
+                         serialized by ensemble -> plume"
+        ),
+        "{stdout}"
+    );
+    assert!(stdout.contains("fuse: 1 fusable, 6 must-spill, 0 racy\n"), "{stdout}");
+}
+
+#[test]
+fn aliased_fixture_is_rejected_with_a_counterexample() {
+    let (stdout, _, code) = fuse(&[], &[&example("lints/fusion_alias.ewf")]);
+    assert_eq!(code, 1, "aliased sinks must fail the fuse gate:\n{stdout}");
+    assert!(stdout.contains("error[fuse-racy]"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "counterexample: 'blur' and 'sharpen' both write \"frame-store\" in either \
+             order (no ordering path links them)"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn unresolved_kernels_are_a_hard_error() {
+    // Pinning the search path to kernels.edsl hides the cascade kernels, so
+    // every task of the workflow must fail to resolve.
+    let (stdout, _, code) = fuse(&[], &[&example("pipeline.ewf"), &example("kernels.edsl")]);
+    assert_eq!(code, 1, "missing kernels must not pass silently:\n{stdout}");
+    assert!(stdout.contains("error[wf-unresolved-kernel]"), "{stdout}");
+    assert!(stdout.contains("known kernels: gemm, smooth"), "{stdout}");
+}
+
+#[test]
+fn bad_format_and_missing_workflows_are_usage_errors() {
+    let out = everestc().arg("fuse").arg("--format").arg("xml").arg("x.ewf").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"));
+
+    let out = everestc().arg("fuse").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no workflows is a usage error");
+}
